@@ -1,0 +1,70 @@
+// Command experiments regenerates every experiment in DESIGN.md's index
+// (E1–E12) and prints the tables recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -run e4    # run one experiment
+//	experiments -run e1,e5 # run a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"glimmers/internal/experiments"
+)
+
+type runner struct {
+	id   string
+	desc string
+	run  func() (interface{ Table() string }, error)
+}
+
+func main() {
+	runFlag := flag.String("run", "", "comma-separated experiment ids (e1..e12); empty runs all")
+	flag.Parse()
+
+	fig1 := experiments.DefaultFigure1()
+	all := []runner{
+		{"e1", "Fig 1a: raw sharing", func() (interface{ Table() string }, error) { return experiments.RunE1(fig1) }},
+		{"e2", "Fig 1b: federated learning", func() (interface{ Table() string }, error) { return experiments.RunE2(fig1) }},
+		{"e3", "Fig 1c: secure aggregation", func() (interface{ Table() string }, error) { return experiments.RunE3(fig1) }},
+		{"e4", "Fig 1d: poisoning attack", func() (interface{ Table() string }, error) { return experiments.RunE4(fig1) }},
+		{"e5", "Fig 2/3: glimmer defense", func() (interface{ Table() string }, error) { return experiments.RunE5(fig1) }},
+		{"e6", "§3: decomposition ablation", func() (interface{ Table() string }, error) { return experiments.RunE6(experiments.DefaultE6()) }},
+		{"e7", "§3: validation ladder", func() (interface{ Table() string }, error) { return experiments.RunE7(experiments.DefaultE7()) }},
+		{"e8", "§4.1: bot detection", func() (interface{ Table() string }, error) { return experiments.RunE8(experiments.DefaultE8()) }},
+		{"e9", "§4.2: glimmer-as-a-service", func() (interface{ Table() string }, error) { return experiments.RunE9(experiments.DefaultE9()) }},
+		{"e10", "§2: consortium comparison", func() (interface{ Table() string }, error) { return experiments.RunE10(experiments.DefaultE10()) }},
+		{"e11", "§1/§3: photos for maps", func() (interface{ Table() string }, error) { return experiments.RunE11(experiments.DefaultE11()) }},
+		{"e12", "§3: predicate verification", func() (interface{ Table() string }, error) { return experiments.RunE12() }},
+	}
+
+	want := map[string]bool{}
+	if *runFlag != "" {
+		for _, id := range strings.Split(*runFlag, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+
+	ran := 0
+	for _, r := range all {
+		if len(want) > 0 && !want[r.id] {
+			continue
+		}
+		res, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s (%s): %v\n", r.id, r.desc, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Table())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments matched %q (valid: e1..e12)\n", *runFlag)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,140 @@
+// Command fedkbd drives the paper's running example end to end: a
+// federated predictive-keyboard round across a simulated user population,
+// with a configurable number of poisoning attackers, with and without
+// Glimmer protection.
+//
+// Usage:
+//
+//	fedkbd -users 24 -words 500 -attackers 1
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+
+	"glimmers/internal/blind"
+	"glimmers/internal/fedml"
+	"glimmers/internal/fixed"
+	"glimmers/internal/glimmer"
+	"glimmers/internal/keyboard"
+	"glimmers/internal/predicate"
+	"glimmers/internal/service"
+	"glimmers/internal/tee"
+)
+
+func main() {
+	users := flag.Int("users", 24, "population size")
+	words := flag.Int("words", 500, "words typed per user")
+	attackers := flag.Int("attackers", 1, "poisoning attackers (each submits 538)")
+	seed := flag.String("seed", "fedkbd", "simulation seed")
+	flag.Parse()
+	if *attackers > *users {
+		log.Fatalf("attackers (%d) cannot exceed users (%d)", *attackers, *users)
+	}
+
+	pop, err := keyboard.TrendingScenario([]byte(*seed), *users, *words)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vocab := pop.Corpus.Vocabulary()
+	fmt.Printf("population: %d users, %d words each, vocabulary %d (model dims %d)\n",
+		*users, *words, vocab.Size(), vocab.Dims())
+	fmt.Printf("trending bigrams: %v\n\n", pop.TopBigrams(5))
+
+	models := make([]*fedml.Model, *users)
+	for i, u := range pop.Users {
+		models[i] = fedml.TrainLocal(u.Activity, vocab)
+	}
+	for a := 0; a < *attackers; a++ {
+		if err := fedml.Poison(models[a], "donald", "dont", 538); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Unprotected round: blinded aggregation hides the poison.
+	unprotected, err := fedml.Aggregate(models...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	top, w, err := unprotected.Predict("donald")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("without glimmers: \"donald\" -> %q (weight %.3f)\n", top, w)
+
+	// Protected round: every contribution passes through a Glimmer.
+	as, err := tee.NewAttestationService()
+	if err != nil {
+		log.Fatal(err)
+	}
+	platform, err := tee.NewPlatform(as)
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc, err := service.New("nextwordpredictive.com", as.Root())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := svc.SetPredicate(predicate.UnitRangeCheck("unit-range", vocab.Dims())); err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := svc.GlimmerConfig(vocab.Dims(), glimmer.ModeDealer, glimmer.DefaultPolicy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	masks, err := blind.ZeroSumMasks([]byte(*seed+"-masks"), *users, vocab.Dims())
+	if err != nil {
+		log.Fatal(err)
+	}
+	const round = 1
+	agg := service.NewAggregator(svc.Name(), svc.ContributionVerifyKey(), vocab.Dims(), round)
+	rejected := 0
+	unusedMasks := fixed.NewVector(vocab.Dims())
+	for i, m := range models {
+		dev, err := glimmer.NewDevice(platform, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		svc.Vet(dev.Measurement())
+		agg.Vet(dev.Measurement())
+		payload, err := svc.BasePayload()
+		if err != nil {
+			log.Fatal(err)
+		}
+		payload.Masks = map[uint64][]uint64{round: glimmer.VectorToBits(masks[i])}
+		if err := svc.Provision(dev, payload); err != nil {
+			log.Fatal(err)
+		}
+		sc, err := dev.Contribute(round, m.Weights, nil)
+		if err != nil {
+			if errors.Is(err, glimmer.ErrRejected) {
+				rejected++
+				unusedMasks.AddInPlace(masks[i])
+				continue
+			}
+			log.Fatal(err)
+		}
+		if err := agg.Add(glimmer.EncodeSignedContribution(sc)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := agg.CorrectDropout(unusedMasks); err != nil {
+		log.Fatal(err)
+	}
+	mean, err := agg.Mean()
+	if err != nil {
+		log.Fatal(err)
+	}
+	protected, err := fedml.FromWeights(vocab, mean)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topP, wP, err := protected.Predict("donald")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with glimmers:    \"donald\" -> %q (weight %.3f)\n", topP, wP)
+	fmt.Printf("glimmers rejected %d/%d contributions at the client\n", rejected, *users)
+}

@@ -1,0 +1,72 @@
+// Command glimmerd hosts a Glimmer-as-a-service daemon (§4.2 of the
+// paper): a TCP server that loads a fresh Glimmer enclave per connection so
+// devices without trusted hardware can use one remotely.
+//
+// The daemon assembles a self-contained demo deployment — a simulated
+// attestation service, a platform, and a service enforcing a [0,1] range
+// check over -dim weights — and prints the measurement clients must pin.
+// In a real deployment the service and attestation root would live
+// elsewhere; the wire protocol (internal/gaas) is the same.
+//
+// Usage:
+//
+//	glimmerd -listen 127.0.0.1:7433 -dim 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"glimmers/internal/gaas"
+	"glimmers/internal/glimmer"
+	"glimmers/internal/predicate"
+	"glimmers/internal/service"
+	"glimmers/internal/tee"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7433", "address to listen on")
+	dim := flag.Int("dim", 16, "contribution dimensionality")
+	serviceName := flag.String("service", "demo.glimmers.example", "service name")
+	flag.Parse()
+
+	as, err := tee.NewAttestationService()
+	if err != nil {
+		log.Fatalf("attestation service: %v", err)
+	}
+	platform, err := tee.NewPlatform(as)
+	if err != nil {
+		log.Fatalf("platform: %v", err)
+	}
+	svc, err := service.New(*serviceName, as.Root())
+	if err != nil {
+		log.Fatalf("service: %v", err)
+	}
+	if err := svc.SetPredicate(predicate.UnitRangeCheck("unit-range", *dim)); err != nil {
+		log.Fatalf("predicate: %v", err)
+	}
+	cfg, err := svc.GlimmerConfig(*dim, glimmer.ModeNone, glimmer.DefaultPolicy)
+	if err != nil {
+		log.Fatalf("config: %v", err)
+	}
+	server := gaas.NewServer(platform, cfg, func(dev *glimmer.Device) error {
+		payload, err := svc.BasePayload()
+		if err != nil {
+			return err
+		}
+		return svc.Provision(dev, payload)
+	})
+	svc.Vet(server.Measurement())
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	fmt.Printf("glimmerd: serving %q glimmers on %s\n", *serviceName, ln.Addr())
+	fmt.Printf("glimmerd: vetted measurement %s (clients must pin this)\n", server.Measurement())
+	if err := server.Serve(ln); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+}

@@ -1,0 +1,79 @@
+// GaaS: Glimmer-as-a-service (§4.2) — an IoT thermostat without a TEE uses
+// a Glimmer hosted on another machine.
+//
+// The host (think: a set-top box, a university server, the EFF) runs
+// glimmerd's server; the thermostat dials it, verifies the enclave quote
+// against the published measurement, and only then ships its private
+// readings for validation and endorsement. The host relays ciphertext and
+// learns nothing.
+//
+// Run with: go run ./examples/gaas
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+
+	"glimmers"
+	"glimmers/internal/gaas"
+	"glimmers/internal/glimmer"
+	"glimmers/internal/predicate"
+)
+
+func main() {
+	const dim = 8 // eight temperature readings, each normalized to [0,1]
+
+	// The service accepts normalized sensor vectors.
+	tb, err := glimmers.NewTestbed("thermostats.example", predicate.UnitRangeCheck("sensor-range", dim))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := tb.Service.GlimmerConfig(dim, glimmers.ModeNone, glimmers.DefaultPolicy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The neutral host machine: loads and provisions a fresh Glimmer per
+	// connection.
+	server := gaas.NewServer(tb.Platform, cfg, func(dev *glimmer.Device) error {
+		payload, err := tb.Service.BasePayload()
+		if err != nil {
+			return err
+		}
+		return tb.Service.Provision(dev, payload)
+	})
+	tb.Service.Vet(server.Measurement())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	go func() { _ = server.Serve(ln) }()
+	fmt.Printf("glimmer host serving on %s (measurement %s)\n", ln.Addr(), server.Measurement())
+
+	// The IoT device: no TEE, but it pins the published measurement.
+	verifier := &glimmers.QuoteVerifier{Root: tb.AS.Root()}
+	verifier.Allow(server.Measurement())
+	client, err := gaas.Dial(ln.Addr().String(), verifier, tb.Service.Name())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	fmt.Println("thermostat: remote glimmer attested, session established")
+
+	readings := glimmers.FromFloats([]float64{0.42, 0.43, 0.44, 0.45, 0.44, 0.43, 0.42, 0.41})
+	sc, err := client.Contribute(1, readings, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok := tb.Service.ContributionVerifyKey().Verify(sc.SignedBytes(), sc.Signature)
+	fmt.Printf("thermostat: readings endorsed remotely, signature valid = %v\n", ok)
+
+	// A compromised thermostat trying to report a 900-degree reading is
+	// refused by the remote Glimmer.
+	bogus := glimmers.FromFloats([]float64{900, 0.4, 0.4, 0.4, 0.4, 0.4, 0.4, 0.4})
+	_, err = client.Contribute(2, bogus, nil)
+	fmt.Printf("thermostat: bogus reading rejected remotely = %v\n", errors.Is(err, gaas.ErrRejected))
+}

@@ -1,0 +1,259 @@
+// Package attest implements attested secure channels: Diffie-Hellman
+// handshakes whose enclave endpoint proves, via a TEE quote, that a specific
+// measured binary holds the channel key.
+//
+// This is the mechanism §4.1 of the paper describes for provisioning secret
+// validation code, and §4.2 reuses for Glimmer-as-a-service:
+//
+//   - The enclave binds its ephemeral DH public value into a quote's report
+//     data, asserting "this DH endpoint terminates inside this measured
+//     enclave".
+//   - The peer (a service or an ordinary client) verifies the quote chain
+//     and the binding before deriving session keys.
+//   - Optionally the peer signs the handshake transcript with a long-term
+//     identity key whose verification half is embedded in the Glimmer code,
+//     so the enclave in turn knows it is talking to the legitimate service.
+//
+// The resulting Session provides authenticated encryption with strict
+// sequence numbers: replayed, reordered, or dropped messages are detected.
+package attest
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"glimmers/internal/tee"
+	"glimmers/internal/wire"
+	"glimmers/internal/xcrypto"
+)
+
+// Handshake errors.
+var (
+	ErrContextMismatch = errors.New("attest: handshake context mismatch")
+	ErrBinding         = errors.New("attest: quote does not bind the DH value")
+	ErrPeerSignature   = errors.New("attest: peer transcript signature invalid")
+)
+
+// Hello is the enclave's opening handshake message.
+type Hello struct {
+	Context string
+	DHPub   []byte
+	Quote   tee.Quote
+}
+
+// Response is the peer's reply: its DH value and, if it has a long-term
+// identity, a signature over the transcript.
+type Response struct {
+	DHPub     []byte
+	Signature []byte
+}
+
+// EnclaveKey is the enclave-side handshake state between Hello and Complete.
+// It never leaves the enclave.
+type EnclaveKey struct {
+	context string
+	dh      *xcrypto.DHKey
+	dhPub   []byte
+}
+
+// bindingHash ties a DH public value to a context inside a quote's report
+// data.
+func bindingHash(context string, dhPub []byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("glimmers/attest/binding/v1\x00"))
+	h.Write([]byte(context))
+	h.Write(dhPub)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// transcriptHash commits both DH values and the context; signatures and key
+// derivation bind to it.
+func transcriptHash(context string, enclaveDH, peerDH []byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("glimmers/attest/transcript/v1\x00"))
+	h.Write([]byte(context))
+	h.Write(enclaveDH)
+	h.Write(peerDH)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// NewEnclaveHello runs inside an enclave: it generates an ephemeral DH key,
+// quotes the binding, and returns the Hello to send plus the private state
+// needed to complete the handshake.
+func NewEnclaveHello(env *tee.Env, context string) (*EnclaveKey, Hello, error) {
+	dh, err := xcrypto.NewDHKey()
+	if err != nil {
+		return nil, Hello{}, fmt.Errorf("attest: hello: %w", err)
+	}
+	pub := dh.PublicBytes()
+	binding := bindingHash(context, pub)
+	quote, err := env.NewQuote(binding[:])
+	if err != nil {
+		return nil, Hello{}, fmt.Errorf("attest: hello quote: %w", err)
+	}
+	key := &EnclaveKey{context: context, dh: dh, dhPub: pub}
+	return key, Hello{Context: context, DHPub: pub, Quote: quote}, nil
+}
+
+// Respond runs on the peer (service or client): it verifies the enclave's
+// quote and binding, contributes its own DH value, and derives the session.
+// If identity is non-nil the response carries a transcript signature so the
+// enclave can authenticate the peer (the paper's service-side DH signing).
+func Respond(hello Hello, verifier *tee.QuoteVerifier, identity *xcrypto.SigningKey, context string) (*Session, Response, error) {
+	if hello.Context != context {
+		return nil, Response{}, ErrContextMismatch
+	}
+	if err := verifier.Verify(hello.Quote); err != nil {
+		return nil, Response{}, fmt.Errorf("attest: respond: %w", err)
+	}
+	wantBinding := bindingHash(context, hello.DHPub)
+	var quoted [32]byte
+	copy(quoted[:], hello.Quote.Report.Data[:32])
+	if quoted != wantBinding {
+		return nil, Response{}, ErrBinding
+	}
+	dh, err := xcrypto.NewDHKey()
+	if err != nil {
+		return nil, Response{}, fmt.Errorf("attest: respond: %w", err)
+	}
+	shared, err := dh.Shared(hello.DHPub)
+	if err != nil {
+		return nil, Response{}, fmt.Errorf("attest: respond: %w", err)
+	}
+	transcript := transcriptHash(context, hello.DHPub, dh.PublicBytes())
+	resp := Response{DHPub: dh.PublicBytes()}
+	if identity != nil {
+		sig, err := identity.Sign(transcript[:])
+		if err != nil {
+			return nil, Response{}, fmt.Errorf("attest: respond: %w", err)
+		}
+		resp.Signature = sig
+	}
+	session := deriveSession(shared, transcript, false)
+	return session, resp, nil
+}
+
+// Complete runs inside the enclave after receiving the Response. If
+// peerIdentity is non-nil the transcript signature must verify under it —
+// the enclave authenticating the service with its embedded key. Passing nil
+// accepts an anonymous peer (an ordinary user device, which the Glimmer has
+// no need to authenticate).
+func (k *EnclaveKey) Complete(resp Response, peerIdentity *xcrypto.VerifyKey) (*Session, error) {
+	shared, err := k.dh.Shared(resp.DHPub)
+	if err != nil {
+		return nil, fmt.Errorf("attest: complete: %w", err)
+	}
+	transcript := transcriptHash(k.context, k.dhPub, resp.DHPub)
+	if peerIdentity != nil {
+		if !peerIdentity.Verify(transcript[:], resp.Signature) {
+			return nil, ErrPeerSignature
+		}
+	}
+	return deriveSession(shared, transcript, true), nil
+}
+
+// RespondFromEnclave is Respond for the case where the responder is itself
+// an enclave (e.g. the §3 blinding-dealer enclave answering a client
+// Glimmer): instead of signing the transcript with a long-term identity, it
+// quotes a binding of its DH value, so both ends of the channel are
+// attested.
+func RespondFromEnclave(env *tee.Env, hello Hello, verifier *tee.QuoteVerifier, context string) (*Session, Hello, error) {
+	if hello.Context != context {
+		return nil, Hello{}, ErrContextMismatch
+	}
+	if err := verifier.Verify(hello.Quote); err != nil {
+		return nil, Hello{}, fmt.Errorf("attest: respond: %w", err)
+	}
+	wantBinding := bindingHash(context, hello.DHPub)
+	var quoted [32]byte
+	copy(quoted[:], hello.Quote.Report.Data[:32])
+	if quoted != wantBinding {
+		return nil, Hello{}, ErrBinding
+	}
+	dh, err := xcrypto.NewDHKey()
+	if err != nil {
+		return nil, Hello{}, fmt.Errorf("attest: respond: %w", err)
+	}
+	shared, err := dh.Shared(hello.DHPub)
+	if err != nil {
+		return nil, Hello{}, fmt.Errorf("attest: respond: %w", err)
+	}
+	respBinding := bindingHash(context+"/responder", dh.PublicBytes())
+	quote, err := env.NewQuote(respBinding[:])
+	if err != nil {
+		return nil, Hello{}, fmt.Errorf("attest: responder quote: %w", err)
+	}
+	transcript := transcriptHash(context, hello.DHPub, dh.PublicBytes())
+	session := deriveSession(shared, transcript, false)
+	return session, Hello{Context: context, DHPub: dh.PublicBytes(), Quote: quote}, nil
+}
+
+// CompleteAttested finishes the handshake against an attested (rather than
+// signing) responder: the responder's quote must verify and bind its DH
+// value.
+func (k *EnclaveKey) CompleteAttested(resp Hello, verifier *tee.QuoteVerifier) (*Session, error) {
+	if resp.Context != k.context {
+		return nil, ErrContextMismatch
+	}
+	if err := verifier.Verify(resp.Quote); err != nil {
+		return nil, fmt.Errorf("attest: complete: %w", err)
+	}
+	wantBinding := bindingHash(k.context+"/responder", resp.DHPub)
+	var quoted [32]byte
+	copy(quoted[:], resp.Quote.Report.Data[:32])
+	if quoted != wantBinding {
+		return nil, ErrBinding
+	}
+	shared, err := k.dh.Shared(resp.DHPub)
+	if err != nil {
+		return nil, fmt.Errorf("attest: complete: %w", err)
+	}
+	transcript := transcriptHash(k.context, k.dhPub, resp.DHPub)
+	return deriveSession(shared, transcript, true), nil
+}
+
+// EncodeHello serializes a Hello for transport.
+func EncodeHello(h Hello) []byte {
+	w := wire.NewWriter()
+	w.String(h.Context)
+	w.Bytes(h.DHPub)
+	wire.AppendQuote(w, h.Quote)
+	return w.Finish()
+}
+
+// DecodeHello reverses EncodeHello.
+func DecodeHello(data []byte) (Hello, error) {
+	r := wire.NewReader(data)
+	var h Hello
+	h.Context = r.String()
+	h.DHPub = r.Bytes()
+	q, err := wire.ReadQuote(r)
+	if err != nil {
+		return Hello{}, fmt.Errorf("attest: decode hello: %w", err)
+	}
+	h.Quote = q
+	if err := r.Done(); err != nil {
+		return Hello{}, fmt.Errorf("attest: decode hello: %w", err)
+	}
+	return h, nil
+}
+
+// EncodeResponse serializes a Response for transport.
+func EncodeResponse(resp Response) []byte {
+	return wire.NewWriter().Bytes(resp.DHPub).Bytes(resp.Signature).Finish()
+}
+
+// DecodeResponse reverses EncodeResponse.
+func DecodeResponse(data []byte) (Response, error) {
+	r := wire.NewReader(data)
+	resp := Response{DHPub: r.Bytes(), Signature: r.Bytes()}
+	if err := r.Done(); err != nil {
+		return Response{}, fmt.Errorf("attest: decode response: %w", err)
+	}
+	return resp, nil
+}

@@ -1,0 +1,147 @@
+package blind
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+)
+
+// Shamir secret sharing over GF(256), byte-wise: each byte of the secret is
+// shared with an independent random polynomial of degree k-1. Any k shares
+// reconstruct the secret; fewer reveal nothing. Used for dropout recovery
+// here and by the consortium (threshold trusted-third-party) realization of
+// a Glimmer in internal/consortium.
+
+// Share is one participant's fragment of a secret.
+type Share struct {
+	// X is the participant's evaluation point (1-based; 0 is the secret).
+	X byte
+	// Data holds one polynomial evaluation per secret byte.
+	Data []byte
+}
+
+// GF(256) arithmetic with the AES polynomial x^8+x^4+x^3+x+1 (0x11b),
+// via log/exp tables built at package init.
+var (
+	gfExp [512]byte
+	gfLog [256]byte
+)
+
+func init() {
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		gfExp[i] = x
+		gfLog[x] = byte(i)
+		// multiply x by the generator 0x03
+		x = gfMulNoTable(x, 3)
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+func gfMulNoTable(a, b byte) byte {
+	var p byte
+	for b > 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		carry := a & 0x80
+		a <<= 1
+		if carry != 0 {
+			a ^= 0x1b
+		}
+		b >>= 1
+	}
+	return p
+}
+
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+func gfInv(a byte) byte {
+	if a == 0 {
+		panic("blind: inverse of zero in GF(256)")
+	}
+	return gfExp[255-int(gfLog[a])]
+}
+
+// SplitSecret shares a secret among n participants with threshold k.
+func SplitSecret(secret []byte, n, k int) ([]Share, error) {
+	if k < 1 || n < k {
+		return nil, fmt.Errorf("blind: invalid threshold %d of %d", k, n)
+	}
+	if n > 255 {
+		return nil, fmt.Errorf("blind: at most 255 shares, got %d", n)
+	}
+	if len(secret) == 0 {
+		return nil, errors.New("blind: empty secret")
+	}
+	shares := make([]Share, n)
+	for i := range shares {
+		shares[i] = Share{X: byte(i + 1), Data: make([]byte, len(secret))}
+	}
+	coeffs := make([]byte, k-1)
+	for byteIdx, s := range secret {
+		if _, err := rand.Read(coeffs); err != nil {
+			return nil, fmt.Errorf("blind: share randomness: %w", err)
+		}
+		for i := range shares {
+			x := shares[i].X
+			// Evaluate s + c1*x + c2*x^2 + ... via Horner from the top.
+			y := byte(0)
+			for j := len(coeffs) - 1; j >= 0; j-- {
+				y = gfMul(y, x) ^ coeffs[j]
+			}
+			y = gfMul(y, x) ^ s
+			shares[i].Data[byteIdx] = y
+		}
+	}
+	return shares, nil
+}
+
+// CombineShares reconstructs a secret from at least k distinct shares using
+// Lagrange interpolation at x=0.
+func CombineShares(shares []Share, k int) ([]byte, error) {
+	if len(shares) < k {
+		return nil, fmt.Errorf("blind: need %d shares, have %d", k, len(shares))
+	}
+	use := shares[:k]
+	seen := make(map[byte]bool, k)
+	length := -1
+	for _, s := range use {
+		if s.X == 0 {
+			return nil, errors.New("blind: share with x=0")
+		}
+		if seen[s.X] {
+			return nil, fmt.Errorf("blind: duplicate share x=%d", s.X)
+		}
+		seen[s.X] = true
+		if length == -1 {
+			length = len(s.Data)
+		} else if len(s.Data) != length {
+			return nil, errors.New("blind: shares have differing lengths")
+		}
+	}
+	secret := make([]byte, length)
+	for i := range use {
+		// Lagrange basis coefficient at x=0: prod_{j!=i} x_j / (x_j - x_i).
+		num, den := byte(1), byte(1)
+		for j := range use {
+			if i == j {
+				continue
+			}
+			num = gfMul(num, use[j].X)
+			den = gfMul(den, use[j].X^use[i].X) // subtraction is XOR
+		}
+		coeff := gfMul(num, gfInv(den))
+		for b := 0; b < length; b++ {
+			secret[b] ^= gfMul(coeff, use[i].Data[b])
+		}
+	}
+	return secret, nil
+}

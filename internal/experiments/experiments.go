@@ -1,0 +1,104 @@
+// Package experiments implements the reproduction harness: one runnable
+// experiment per figure or claim of the paper, as indexed in DESIGN.md.
+// Each experiment returns a typed result whose Table method prints the rows
+// EXPERIMENTS.md records; cmd/experiments regenerates them all and the root
+// bench_test.go wraps them as benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"glimmers/internal/fedml"
+	"glimmers/internal/glimmer"
+	"glimmers/internal/keyboard"
+	"glimmers/internal/predicate"
+	"glimmers/internal/service"
+	"glimmers/internal/tee"
+)
+
+// table renders rows with aligned columns.
+func table(title string, header []string, rows [][]string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n", title)
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	for _, row := range rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+	return sb.String()
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// World is the shared experiment fixture: an attestation root, a platform,
+// and the paper's trending-keyboard population.
+type World struct {
+	AS       *tee.AttestationService
+	Platform *tee.Platform
+	Pop      *keyboard.Population
+	Vocab    *keyboard.Vocabulary
+}
+
+// NewWorld builds the fixture deterministically from a seed.
+func NewWorld(seed []byte, users, wordsPerUser int) (*World, error) {
+	as, err := tee.NewAttestationService()
+	if err != nil {
+		return nil, err
+	}
+	platform, err := tee.NewPlatform(as)
+	if err != nil {
+		return nil, err
+	}
+	pop, err := keyboard.TrendingScenario(seed, users, wordsPerUser)
+	if err != nil {
+		return nil, err
+	}
+	return &World{AS: as, Platform: platform, Pop: pop, Vocab: pop.Corpus.Vocabulary()}, nil
+}
+
+// localModels trains each user's partial model.
+func (w *World) localModels() []*fedml.Model {
+	models := make([]*fedml.Model, len(w.Pop.Users))
+	for i, u := range w.Pop.Users {
+		models[i] = fedml.TrainLocal(u.Activity, w.Vocab)
+	}
+	return models
+}
+
+// heldout generates evaluation activity from the same corpus.
+func (w *World) heldout(n int) keyboard.Activity {
+	return w.Pop.Corpus.GenerateActivity([]byte("heldout"), n)
+}
+
+// newService creates a vetted service over the world's trust root.
+func (w *World) newService(name string, pred *predicate.Program) (*service.Service, error) {
+	svc, err := service.New(name, w.AS.Root())
+	if err != nil {
+		return nil, err
+	}
+	if err := svc.SetPredicate(pred); err != nil {
+		return nil, err
+	}
+	return svc, nil
+}
+
+// provisionDevice loads, vets, and provisions one Glimmer device.
+func (w *World) provisionDevice(svc *service.Service, cfg glimmer.Config, masks map[uint64][]uint64) (*glimmer.Device, error) {
+	dev, err := glimmer.NewDevice(w.Platform, cfg)
+	if err != nil {
+		return nil, err
+	}
+	svc.Vet(dev.Measurement())
+	payload, err := svc.BasePayload()
+	if err != nil {
+		return nil, err
+	}
+	payload.Masks = masks
+	if err := svc.Provision(dev, payload); err != nil {
+		return nil, err
+	}
+	return dev, nil
+}

@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// smallFigure1 keeps the Figure 1 experiments fast in tests.
+func smallFigure1() Figure1Config {
+	cfg := DefaultFigure1()
+	cfg.Users = 10
+	cfg.WordsPerUser = 250
+	cfg.HeldoutWords = 800
+	return cfg
+}
+
+func TestE1RawSharingTradeoff(t *testing.T) {
+	res, err := RunE1(smallFigure1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, raw := res.Rows[0], res.Rows[1]
+	if raw.Accuracy <= local.Accuracy {
+		t.Errorf("raw sharing should beat local-only: %.3f vs %.3f", raw.Accuracy, local.Accuracy)
+	}
+	if raw.PrivacyLoss != 1.0 || local.PrivacyLoss != 0 {
+		t.Errorf("privacy losses: %+v", res.Rows)
+	}
+	if !strings.Contains(res.Table(), "raw sharing") {
+		t.Error("table missing scheme row")
+	}
+}
+
+func TestE2FederatedKeepsUtilityButInverts(t *testing.T) {
+	res, err := RunE2(smallFigure1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TrendLearned {
+		t.Error("federated model failed to learn the trend")
+	}
+	if res.FederatedAccuracy < res.RawAccuracy-0.1 {
+		t.Errorf("federated accuracy %.3f far below raw %.3f", res.FederatedAccuracy, res.RawAccuracy)
+	}
+	if res.MeanInversionRecall < 0.9 {
+		t.Errorf("inversion recall %.3f: strawman models should invert nearly completely", res.MeanInversionRecall)
+	}
+}
+
+func TestE3SecureAggregationExactAndOpaque(t *testing.T) {
+	res, err := RunE3(smallFigure1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if !row.AggregateExact {
+			t.Errorf("%s: aggregate not exact", row.Scheme)
+		}
+		if row.ClearInversionRecall < 0.9 {
+			t.Errorf("%s: clear inversion %.3f should be ~1", row.Scheme, row.ClearInversionRecall)
+		}
+		if row.BlindedInversionRecall > row.ClearInversionRecall/2 {
+			t.Errorf("%s: blinded inversion %.3f not far below clear %.3f",
+				row.Scheme, row.BlindedInversionRecall, row.ClearInversionRecall)
+		}
+	}
+	if !res.DropoutRecovered {
+		t.Error("dropout recovery failed")
+	}
+}
+
+func TestE4PoisoningInvisibleUnderBlinding(t *testing.T) {
+	res, err := RunE4(smallFigure1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Flipped {
+		t.Error("poisoning failed to flip the suggestion")
+	}
+	if res.PoisonedAggregateWeight < 1 {
+		t.Errorf("poisoned weight %.3f should dominate", res.PoisonedAggregateWeight)
+	}
+	if !res.DetectableUnblinded {
+		t.Error("raw 538 should be detectable without blinding")
+	}
+	if res.DetectableBlinded {
+		t.Error("blinded 538 should NOT be detectable — that is the paper's point")
+	}
+}
+
+func TestE5GlimmerBlocksAttack(t *testing.T) {
+	cfg := smallFigure1()
+	cfg.Users = 8
+	res, err := RunE5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AttackBlockedAtClient {
+		t.Error("538 was not blocked at the client")
+	}
+	if res.Accepted != cfg.Users-1 || res.Rejected != 1 {
+		t.Errorf("accepted/rejected = %d/%d", res.Accepted, res.Rejected)
+	}
+	if !res.SuggestionIntact {
+		t.Error("suggestion flipped despite the Glimmer")
+	}
+	if !res.AggregateExact {
+		t.Error("honest aggregate not exact after correcting the refused mask")
+	}
+}
+
+func TestE6DecompositionCosts(t *testing.T) {
+	cfg := DefaultE6()
+	cfg.Contributions = 8
+	cfg.Dim = 16
+	cfg.TransitionCost = 200 * time.Microsecond
+	res, err := RunE6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, decomposed := res.Rows[0], res.Rows[1]
+	if single.ECallsPerContribution != 1 {
+		t.Errorf("single ecalls/op = %v, want 1", single.ECallsPerContribution)
+	}
+	if decomposed.ECallsPerContribution != 3 {
+		t.Errorf("decomposed ecalls/op = %v, want 3", decomposed.ECallsPerContribution)
+	}
+	if decomposed.MeanLatencyCosted <= single.MeanLatencyCosted {
+		t.Errorf("decomposed costed latency %v should exceed single %v",
+			decomposed.MeanLatencyCosted, single.MeanLatencyCosted)
+	}
+}
+
+func TestE7ValidationLadder(t *testing.T) {
+	cfg := DefaultE7()
+	cfg.Users = 5
+	cfg.WordsPerUser = 300
+	res, err := RunE7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	none, rng, corr := res.Rows[0], res.Rows[1], res.Rows[2]
+	if none.ForgedAccepted != 1 {
+		t.Errorf("no validation should accept all forgeries: %.2f", none.ForgedAccepted)
+	}
+	if rng.ForgedAccepted != 1 {
+		t.Errorf("range check alone should accept in-range forgeries: %.2f", rng.ForgedAccepted)
+	}
+	if rng.MaxSkewWeight > 1.01 {
+		t.Errorf("range check should cap skew at 1: %.2f", rng.MaxSkewWeight)
+	}
+	if corr.ForgedAccepted != 0 {
+		t.Errorf("corroboration should refuse forgeries: %.2f", corr.ForgedAccepted)
+	}
+	if corr.HonestAccepted < 0.99 {
+		t.Errorf("corroboration should accept honest users: %.2f", corr.HonestAccepted)
+	}
+}
+
+func TestE8BotDetectionThroughGlimmer(t *testing.T) {
+	cfg := DefaultE8()
+	cfg.Samples = 20
+	cfg.Sophistications = []float64{0, 1.0}
+	res, err := RunE8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitsPerVerdict != 1 {
+		t.Errorf("bits per verdict = %d, want 1", res.BitsPerVerdict)
+	}
+	naive := res.Rows[0]
+	if naive.TPR < 0.9 || naive.FPR > 0.1 {
+		t.Errorf("naive bots: TPR %.2f FPR %.2f", naive.TPR, naive.FPR)
+	}
+	sophisticated := res.Rows[1]
+	if sophisticated.FPR < naive.FPR {
+		t.Errorf("sophisticated bots should evade more: %.2f < %.2f", sophisticated.FPR, naive.FPR)
+	}
+	if res.VerdictsAudited == 0 || !res.ConfidentialDelivery {
+		t.Error("audit trail incomplete")
+	}
+}
+
+func TestE9RemoteGlimmer(t *testing.T) {
+	cfg := DefaultE9()
+	cfg.Contributions = 4
+	res, err := RunE9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.RemoteWorks {
+		t.Error("remote contribution failed verification")
+	}
+	local, remote := res.Rows[0], res.Rows[1]
+	if remote.MeanLatency <= local.MeanLatency {
+		t.Errorf("remote %v should cost more than local %v", remote.MeanLatency, local.MeanLatency)
+	}
+}
+
+func TestE10ConsortiumComparison(t *testing.T) {
+	cfg := DefaultE10()
+	cfg.Contributions = 2
+	cfg.Sizes = []int{3, 5}
+	res, err := RunE10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0].Disclosures != 3 || res.Rows[1].Disclosures != 5 {
+		t.Errorf("consortium disclosures: %+v", res.Rows[:2])
+	}
+	glimRow := res.Rows[2]
+	if glimRow.Disclosures != 0 {
+		t.Errorf("glimmer disclosures = %d, want 0", glimRow.Disclosures)
+	}
+	if res.Rows[1].Messages <= res.Rows[0].Messages {
+		t.Error("larger consortium should exchange more messages")
+	}
+}
+
+func TestE11MapsValidation(t *testing.T) {
+	cfg := DefaultE11()
+	cfg.Samples = 10
+	res, err := RunE11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genuine, forgedLoc, stolen := res.Rows[0], res.Rows[1], res.Rows[2]
+	if genuine.AcceptRate < 0.9 {
+		t.Errorf("genuine accept rate %.2f", genuine.AcceptRate)
+	}
+	if forgedLoc.AcceptRate > 0 {
+		t.Errorf("forged location accept rate %.2f", forgedLoc.AcceptRate)
+	}
+	if stolen.AcceptRate > 0 {
+		t.Errorf("stolen photo accept rate %.2f", stolen.AcceptRate)
+	}
+}
+
+func TestE12VerifierCertificates(t *testing.T) {
+	res, err := RunE12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if !row.Verified {
+			t.Errorf("stdlib predicate %s failed verification", row.Predicate)
+		}
+		if row.ActualSteps > row.CostBound {
+			t.Errorf("%s: steps %d exceed bound %d", row.Predicate, row.ActualSteps, row.CostBound)
+		}
+		if row.Declass > 1 {
+			t.Errorf("%s: %d declass sites", row.Predicate, row.Declass)
+		}
+	}
+	if res.LeakyRejected != res.LeakyTotal {
+		t.Errorf("leaky predicates rejected %d/%d", res.LeakyRejected, res.LeakyTotal)
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	// Every result renders a non-empty table with its experiment id.
+	small := smallFigure1()
+	small.Users = 6
+	small.WordsPerUser = 150
+
+	if r, err := RunE1(small); err != nil || !strings.Contains(r.Table(), "E1") {
+		t.Errorf("E1 table: %v", err)
+	}
+	if r, err := RunE12(); err != nil || !strings.Contains(r.Table(), "E12") {
+		t.Errorf("E12 table: %v", err)
+	}
+}

@@ -1,0 +1,250 @@
+// Package gaas implements Glimmer-as-a-service (§4.2 of the paper): IoT
+// and other devices without trusted-computing hardware use a Glimmer hosted
+// by a neutral third party — another device owned by the same user, a
+// university, or an organization like the EFF.
+//
+// The one requirement the paper states is that "the client device needs to
+// establish that it is sending its private data to a genuine Glimmer". The
+// client therefore runs the same attestation-bound handshake a service
+// would: it verifies the hosted enclave's quote against the published
+// measurement, binds a session to it, and only then transmits the
+// contribution and private validation data. The hosting party relays opaque
+// ciphertext; it sees neither inputs nor verdicts.
+package gaas
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"glimmers/internal/attest"
+	"glimmers/internal/fixed"
+	"glimmers/internal/glimmer"
+	"glimmers/internal/tee"
+	"glimmers/internal/wire"
+)
+
+// MaxFrame bounds one protocol frame (16 MiB).
+const MaxFrame = 16 << 20
+
+// Protocol commands.
+const (
+	cmdUserHello      = "user-hello"
+	cmdUserComplete   = "user-complete"
+	cmdUserContribute = "user-contribute"
+)
+
+// Frame I/O: u32 big-endian length prefix, then a wire message of
+// {command/status, body}.
+
+func writeFrame(w io.Writer, tag string, body []byte) error {
+	payload := wire.NewWriter().String(tag).Bytes(body).Finish()
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("gaas: write frame: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("gaas: write frame: %w", err)
+	}
+	return nil
+}
+
+func readFrame(r io.Reader) (string, []byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return "", nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > MaxFrame {
+		return "", nil, fmt.Errorf("gaas: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return "", nil, fmt.Errorf("gaas: read frame: %w", err)
+	}
+	wr := wire.NewReader(payload)
+	tag := wr.String()
+	body := wr.Bytes()
+	if err := wr.Done(); err != nil {
+		return "", nil, fmt.Errorf("gaas: frame payload: %w", err)
+	}
+	return tag, body, nil
+}
+
+// Server hosts Glimmer enclaves for remote clients: one freshly loaded,
+// freshly provisioned enclave per connection, so client sessions cannot
+// interfere.
+type Server struct {
+	platform *tee.Platform
+	cfg      glimmer.Config
+	// provision readies a freshly loaded device (typically by running the
+	// service's provisioning protocol against it).
+	provision func(*glimmer.Device) error
+}
+
+// NewServer creates a Glimmer host.
+func NewServer(platform *tee.Platform, cfg glimmer.Config, provision func(*glimmer.Device) error) *Server {
+	return &Server{platform: platform, cfg: cfg, provision: provision}
+}
+
+// Measurement returns the measurement clients must pin.
+func (s *Server) Measurement() tee.Measurement {
+	return glimmer.BuildBinary(s.cfg).Measurement()
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("gaas: accept: %w", err)
+		}
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	dev, err := glimmer.NewDevice(s.platform, s.cfg)
+	if err != nil {
+		_ = writeFrame(conn, "error", []byte(err.Error()))
+		return
+	}
+	defer dev.Destroy()
+	if s.provision != nil {
+		if err := s.provision(dev); err != nil {
+			_ = writeFrame(conn, "error", []byte("provisioning failed"))
+			return
+		}
+	}
+	for {
+		cmd, body, err := readFrame(conn)
+		if err != nil {
+			return // disconnect
+		}
+		var out []byte
+		switch cmd {
+		case cmdUserHello:
+			out, err = dev.UserHello()
+		case cmdUserComplete:
+			err = dev.UserComplete(body)
+		case cmdUserContribute:
+			out, err = dev.UserContribute(body)
+		default:
+			err = fmt.Errorf("unknown command %q", cmd)
+		}
+		if err != nil {
+			// Error strings cross the network; they carry no private data
+			// by construction (glimmer errors are generic).
+			if werr := writeFrame(conn, "error", []byte(err.Error())); werr != nil {
+				return
+			}
+			continue
+		}
+		if werr := writeFrame(conn, "ok", out); werr != nil {
+			return
+		}
+	}
+}
+
+// Client is an IoT device using a remote Glimmer. It has no TEE of its
+// own; its trust comes entirely from quote verification.
+type Client struct {
+	conn    net.Conn
+	session *attest.Session
+}
+
+// Client errors.
+var (
+	ErrRemote   = errors.New("gaas: remote error")
+	ErrRejected = errors.New("gaas: contribution rejected by remote glimmer")
+)
+
+// Dial connects to a Glimmer host and establishes the attested user
+// session. The verifier must allowlist the expected Glimmer measurement —
+// pinning published measurements is what lets the client trust a machine it
+// does not own.
+func Dial(addr string, verifier *tee.QuoteVerifier, serviceName string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("gaas: dial: %w", err)
+	}
+	c := &Client{conn: conn}
+	if err := c.handshake(verifier, serviceName); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) roundTrip(cmd string, body []byte) ([]byte, error) {
+	if err := writeFrame(c.conn, cmd, body); err != nil {
+		return nil, err
+	}
+	status, out, err := readFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if status != "ok" {
+		return nil, fmt.Errorf("%w: %s", ErrRemote, out)
+	}
+	return out, nil
+}
+
+func (c *Client) handshake(verifier *tee.QuoteVerifier, serviceName string) error {
+	helloBytes, err := c.roundTrip(cmdUserHello, nil)
+	if err != nil {
+		return err
+	}
+	hello, err := attest.DecodeHello(helloBytes)
+	if err != nil {
+		return err
+	}
+	session, resp, err := attest.Respond(hello, verifier, nil, glimmer.UserContext(serviceName))
+	if err != nil {
+		return fmt.Errorf("gaas: remote glimmer not genuine: %w", err)
+	}
+	if _, err := c.roundTrip(cmdUserComplete, attest.EncodeResponse(resp)); err != nil {
+		return err
+	}
+	c.session = session
+	return nil
+}
+
+// Contribute submits a contribution with its private validation data over
+// the attested session and returns the signed, blinded result.
+func (c *Client) Contribute(round uint64, contribution fixed.Vector, private []int64) (glimmer.SignedContribution, error) {
+	req := glimmer.ContributionRequest{
+		Round:        round,
+		Contribution: glimmer.VectorToBits(contribution),
+		Private:      glimmer.Int64sToBits(private),
+	}
+	record, err := c.session.Send(glimmer.EncodeContribution(req))
+	if err != nil {
+		return glimmer.SignedContribution{}, err
+	}
+	replyRecord, err := c.roundTrip(cmdUserContribute, record)
+	if err != nil {
+		return glimmer.SignedContribution{}, err
+	}
+	reply, err := c.session.Recv(replyRecord)
+	if err != nil {
+		return glimmer.SignedContribution{}, fmt.Errorf("gaas: reply authentication: %w", err)
+	}
+	switch {
+	case string(reply) == "rejected":
+		return glimmer.SignedContribution{}, ErrRejected
+	case len(reply) > len("accepted:") && string(reply[:len("accepted:")]) == "accepted:":
+		return glimmer.DecodeSignedContribution(reply[len("accepted:"):])
+	}
+	return glimmer.SignedContribution{}, fmt.Errorf("%w: malformed reply", ErrRemote)
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,268 @@
+package gaas
+
+import (
+	"errors"
+	"net"
+	"testing"
+
+	"glimmers/internal/fixed"
+	"glimmers/internal/glimmer"
+	"glimmers/internal/predicate"
+	"glimmers/internal/service"
+	"glimmers/internal/tee"
+)
+
+const dim = 3
+
+type world struct {
+	as       *tee.AttestationService
+	platform *tee.Platform
+	svc      *service.Service
+	cfg      glimmer.Config
+	server   *Server
+	addr     string
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	as, err := tee.NewAttestationService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := tee.NewPlatform(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := service.New("iot.example", as.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SetPredicate(predicate.UnitRangeCheck("range", dim)); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := svc.GlimmerConfig(dim, glimmer.ModeNone, glimmer.DefaultPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Vet(glimmer.BuildBinary(cfg).Measurement())
+
+	server := NewServer(platform, cfg, func(dev *glimmer.Device) error {
+		payload, err := svc.BasePayload()
+		if err != nil {
+			return err
+		}
+		return svc.Provision(dev, payload)
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() { _ = server.Serve(ln) }()
+	return &world{
+		as: as, platform: platform, svc: svc, cfg: cfg,
+		server: server, addr: ln.Addr().String(),
+	}
+}
+
+func (w *world) verifier() *tee.QuoteVerifier {
+	v := &tee.QuoteVerifier{Root: w.as.Root()}
+	v.Allow(w.server.Measurement())
+	return v
+}
+
+func TestRemoteContribution(t *testing.T) {
+	w := newWorld(t)
+	client, err := Dial(w.addr, w.verifier(), w.svc.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	contribution := fixed.FromFloats([]float64{0.1, 0.5, 0.9})
+	sc, err := client.Contribute(1, contribution, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.svc.ContributionVerifyKey().Verify(sc.SignedBytes(), sc.Signature) {
+		t.Fatal("remote contribution signature invalid")
+	}
+	agg := service.NewAggregator(w.svc.Name(), w.svc.ContributionVerifyKey(), dim, 1)
+	agg.Vet(w.server.Measurement())
+	if err := agg.Add(glimmer.EncodeSignedContribution(sc)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteRejection(t *testing.T) {
+	w := newWorld(t)
+	client, err := Dial(w.addr, w.verifier(), w.svc.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	malicious := fixed.FromFloats([]float64{538, 0, 0})
+	if _, err := client.Contribute(1, malicious, nil); !errors.Is(err, ErrRejected) {
+		t.Fatalf("err = %v, want ErrRejected", err)
+	}
+	// The connection survives a rejection.
+	honest := fixed.FromFloats([]float64{0.1, 0.2, 0.3})
+	if _, err := client.Contribute(2, honest, nil); err != nil {
+		t.Fatalf("contribution after rejection: %v", err)
+	}
+}
+
+func TestClientRefusesWrongMeasurement(t *testing.T) {
+	w := newWorld(t)
+	v := &tee.QuoteVerifier{Root: w.as.Root(), Allowed: []tee.Measurement{{0xBB}}}
+	if _, err := Dial(w.addr, v, w.svc.Name()); err == nil {
+		t.Fatal("client trusted a glimmer with the wrong measurement")
+	}
+}
+
+func TestClientRefusesWrongService(t *testing.T) {
+	w := newWorld(t)
+	if _, err := Dial(w.addr, w.verifier(), "other.example"); err == nil {
+		t.Fatal("client accepted a glimmer bound to a different service")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	w := newWorld(t)
+	const n = 4
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(round uint64) {
+			client, err := Dial(w.addr, w.verifier(), w.svc.Name())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer client.Close()
+			_, err = client.Contribute(round, fixed.FromFloats([]float64{0.1, 0.2, 0.3}), nil)
+			errs <- err
+		}(uint64(i))
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFrameCodec(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	go func() {
+		_ = writeFrame(c1, "hello", []byte("payload"))
+	}()
+	tag, body, err := readFrame(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag != "hello" || string(body) != "payload" {
+		t.Fatalf("frame = (%q, %q)", tag, body)
+	}
+}
+
+func TestHostSeesOnlyCiphertext(t *testing.T) {
+	// The relay (the conn) carries the contribution only inside session
+	// records; this test asserts the plaintext encoding never appears on
+	// the wire. We intercept with a proxy.
+	w := newWorld(t)
+	contribution := fixed.FromFloats([]float64{0.123, 0.456, 0.789})
+	plaintext := glimmer.EncodeContribution(glimmer.ContributionRequest{
+		Round:        1,
+		Contribution: glimmer.VectorToBits(contribution),
+	})
+
+	proxyLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxyLn.Close()
+	var captured [][]byte
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		in, err := proxyLn.Accept()
+		if err != nil {
+			return
+		}
+		defer in.Close()
+		out, err := net.Dial("tcp", w.addr)
+		if err != nil {
+			return
+		}
+		defer out.Close()
+		go func() {
+			buf := make([]byte, 4096)
+			for {
+				n, err := out.Read(buf)
+				if n > 0 {
+					if _, werr := in.Write(buf[:n]); werr != nil {
+						return
+					}
+				}
+				if err != nil {
+					return
+				}
+			}
+		}()
+		buf := make([]byte, 4096)
+		for {
+			n, err := in.Read(buf)
+			if n > 0 {
+				captured = append(captured, append([]byte(nil), buf[:n]...))
+				if _, werr := out.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	client, err := Dial(proxyLn.Addr().String(), w.verifier(), w.svc.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Contribute(1, contribution, nil); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	<-done
+
+	var all []byte
+	for _, chunk := range captured {
+		all = append(all, chunk...)
+	}
+	if len(all) == 0 {
+		t.Fatal("proxy captured nothing")
+	}
+	if contains(all, plaintext) {
+		t.Fatal("plaintext contribution visible to the relay")
+	}
+	// Even a single element's raw bits should not appear in order.
+	if contains(all, plaintext[12:44]) {
+		t.Fatal("contribution fragment visible to the relay")
+	}
+}
+
+func contains(haystack, needle []byte) bool {
+	if len(needle) == 0 || len(haystack) < len(needle) {
+		return false
+	}
+outer:
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		for j := range needle {
+			if haystack[i+j] != needle[j] {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}

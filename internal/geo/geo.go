@@ -1,0 +1,183 @@
+// Package geo implements the paper's photos-for-maps scenario: a mapping
+// service accepts user photos for map locations. The photos themselves are
+// meant to be public, but *validating* them — did this user actually visit
+// the claimed place, with this camera? — needs deeply private context: GPS
+// tracks, ambient WiFi observations, and the device's camera fingerprint
+// (§1 and §3). A Glimmer inspects that context locally and endorses only
+// corroborated photos, releasing nothing else.
+package geo
+
+import (
+	"math"
+
+	"glimmers/internal/predicate"
+	"glimmers/internal/xcrypto"
+)
+
+// Point is a location in microdegrees (1e-6 degree units), integer-exact
+// for the predicate VM.
+type Point struct {
+	LatMicro int64
+	LonMicro int64
+}
+
+// metersPerMicroDegLat is the (latitude-independent) north-south size of
+// one microdegree.
+const metersPerMicroDegLat = 0.111320
+
+// DistanceMeters approximates the distance between nearby points with an
+// equirectangular projection — well within the accuracy validation needs
+// for "was the user within a few hundred meters".
+func DistanceMeters(a, b Point) int64 {
+	latRad := float64(a.LatMicro) / 1e6 * math.Pi / 180
+	dy := float64(a.LatMicro-b.LatMicro) * metersPerMicroDegLat
+	dx := float64(a.LonMicro-b.LonMicro) * metersPerMicroDegLat * math.Cos(latRad)
+	return int64(math.Sqrt(dx*dx + dy*dy))
+}
+
+// TrackPoint is one GPS fix.
+type TrackPoint struct {
+	TimeMs int64
+	Loc    Point
+	// Wifi holds hashes of the access points visible at this fix.
+	Wifi []uint64
+}
+
+// Track is a device's private location history.
+type Track []TrackPoint
+
+// Photo is a user contribution: an image (represented by its content hash)
+// with claimed capture metadata.
+type Photo struct {
+	ContentHash    uint64
+	TakenMs        int64
+	Claimed        Point
+	CamFingerprint uint64
+	// Wifi holds the access points embedded in the photo's capture record.
+	Wifi []uint64
+}
+
+// DeviceContext is the private validation data on the device.
+type DeviceContext struct {
+	Track Track
+	// CamFingerprint is the device camera's sensor fingerprint.
+	CamFingerprint uint64
+}
+
+// Feature indices for the photo-validation predicate's private bank.
+const (
+	FeatMinDistM   = iota // distance from the claimed point to the nearest track fix (m)
+	FeatTimeGapS          // time gap to that fix (seconds)
+	FeatWifiHits          // WiFi APs shared between photo and that fix
+	FeatCamMatch          // camera fingerprint match (0/1)
+	FeatClaimedLat        // claimed latitude, echoed for cross-checking
+	FeatClaimedLon        // claimed longitude
+	NumFeatures
+)
+
+// ContextFeatures computes the private validation bank for a photo against
+// the device context. It runs inside the Glimmer (it is part of the
+// measured binary in a real deployment); the features never leave.
+func ContextFeatures(photo Photo, ctx DeviceContext) []int64 {
+	out := make([]int64, NumFeatures)
+	out[FeatMinDistM] = math.MaxInt32
+	out[FeatTimeGapS] = math.MaxInt32
+	out[FeatClaimedLat] = photo.Claimed.LatMicro
+	out[FeatClaimedLon] = photo.Claimed.LonMicro
+	if photo.CamFingerprint == ctx.CamFingerprint {
+		out[FeatCamMatch] = 1
+	}
+	var nearest *TrackPoint
+	for i := range ctx.Track {
+		tp := &ctx.Track[i]
+		d := DistanceMeters(photo.Claimed, tp.Loc)
+		if d < out[FeatMinDistM] {
+			out[FeatMinDistM] = d
+			nearest = tp
+		}
+	}
+	if nearest == nil {
+		return out
+	}
+	gap := (photo.TakenMs - nearest.TimeMs) / 1000
+	if gap < 0 {
+		gap = -gap
+	}
+	out[FeatTimeGapS] = gap
+	seen := make(map[uint64]bool, len(nearest.Wifi))
+	for _, ap := range nearest.Wifi {
+		seen[ap] = true
+	}
+	for _, ap := range photo.Wifi {
+		if seen[ap] {
+			out[FeatWifiHits]++
+		}
+	}
+	return out
+}
+
+// ValidationPredicate builds the maps-service validator: the contribution
+// (claimed lat, lon) must match the photo's capture record, the device must
+// have been within maxDistM meters of the spot within maxGapS seconds, see
+// at least minWifiHits of the same WiFi networks, and the camera
+// fingerprint must match.
+func ValidationPredicate(name string, maxDistM, maxGapS, minWifiHits int64) *predicate.Program {
+	b := predicate.NewBuilder(name, 1)
+	b.Push(1).Store(0)
+	check := func(emit func()) {
+		emit()
+		b.Load(0).And().Store(0)
+	}
+	check(func() { b.LoadP(FeatMinDistM).Push(maxDistM).Le() })
+	check(func() { b.LoadP(FeatTimeGapS).Push(maxGapS).Le() })
+	check(func() { b.LoadP(FeatWifiHits).Push(minWifiHits).Ge() })
+	check(func() { b.LoadP(FeatCamMatch).Push(1).Eq() })
+	// The contribution must claim exactly the location the features were
+	// computed for — a host swapping coordinates after validation fails.
+	check(func() { b.LoadC(0).LoadP(FeatClaimedLat).Eq() })
+	check(func() { b.LoadC(1).LoadP(FeatClaimedLon).Eq() })
+	check(func() { b.LenC().Push(2).Eq() })
+	check(func() { b.LenP().Push(int64(NumFeatures)).Eq() })
+	b.Load(0).Declass().Verdict()
+	return b.MustBuild()
+}
+
+// DefaultPredicate uses sane defaults: within 250 m, within 15 minutes, one
+// shared WiFi network, matching camera.
+func DefaultPredicate(name string) *predicate.Program {
+	return ValidationPredicate(name, 250, 900, 1)
+}
+
+// RandomTrack generates a plausible walk: steps of roughly stepMeters every
+// intervalMs, each fix seeing a few location-derived WiFi APs.
+func RandomTrack(prg *xcrypto.PRG, start Point, steps int, stepMeters, intervalMs int64) Track {
+	track := make(Track, 0, steps)
+	cur := start
+	timeMs := int64(0)
+	for i := 0; i < steps; i++ {
+		heading := prg.Float64() * 2 * math.Pi
+		dLat := int64(float64(stepMeters) * math.Sin(heading) / metersPerMicroDegLat)
+		latRad := float64(cur.LatMicro) / 1e6 * math.Pi / 180
+		dLon := int64(float64(stepMeters) * math.Cos(heading) / (metersPerMicroDegLat * math.Cos(latRad)))
+		cur = Point{LatMicro: cur.LatMicro + dLat, LonMicro: cur.LonMicro + dLon}
+		timeMs += intervalMs + int64(prg.Intn(int(intervalMs/4)+1))
+		track = append(track, TrackPoint{TimeMs: timeMs, Loc: cur, Wifi: WifiAt(cur)})
+	}
+	return track
+}
+
+// WifiAt derives the deterministic set of WiFi APs "visible" at a location:
+// a grid of synthetic networks, so nearby points share networks and distant
+// points do not.
+func WifiAt(p Point) []uint64 {
+	// ~500 m grid cells in microdegrees.
+	const cell = 4500
+	latCell := p.LatMicro / cell
+	lonCell := p.LonMicro / cell
+	out := make([]uint64, 0, 4)
+	for _, d := range [][2]int64{{0, 0}, {0, 1}, {1, 0}, {1, 1}} {
+		lc, nc := latCell+d[0], lonCell+d[1]
+		out = append(out, uint64(lc*2654435761)^uint64(nc*40503)^0x57494649)
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package geo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"glimmers/internal/predicate"
+	"glimmers/internal/xcrypto"
+)
+
+// Toronto-ish coordinates in microdegrees.
+var downtown = Point{LatMicro: 43_653_000, LonMicro: -79_383_000}
+
+func TestDistanceMeters(t *testing.T) {
+	// One microdegree of latitude is ~0.111 m; 9000 microdegrees ~ 1 km.
+	north := Point{LatMicro: downtown.LatMicro + 9000, LonMicro: downtown.LonMicro}
+	d := DistanceMeters(downtown, north)
+	if d < 950 || d > 1050 {
+		t.Fatalf("1km north = %d m", d)
+	}
+	if DistanceMeters(downtown, downtown) != 0 {
+		t.Fatal("self distance nonzero")
+	}
+	// Symmetry.
+	if DistanceMeters(downtown, north) != DistanceMeters(north, downtown) {
+		t.Fatal("distance asymmetric")
+	}
+}
+
+func TestWifiAtLocality(t *testing.T) {
+	near := Point{LatMicro: downtown.LatMicro + 100, LonMicro: downtown.LonMicro + 100}
+	far := Point{LatMicro: downtown.LatMicro + 900_000, LonMicro: downtown.LonMicro}
+	shared := func(a, b []uint64) int {
+		seen := map[uint64]bool{}
+		for _, x := range a {
+			seen[x] = true
+		}
+		n := 0
+		for _, x := range b {
+			if seen[x] {
+				n++
+			}
+		}
+		return n
+	}
+	if shared(WifiAt(downtown), WifiAt(near)) == 0 {
+		t.Fatal("adjacent points share no WiFi")
+	}
+	if shared(WifiAt(downtown), WifiAt(far)) != 0 {
+		t.Fatal("points 100km apart share WiFi")
+	}
+}
+
+func TestRandomTrackShape(t *testing.T) {
+	prg := xcrypto.NewPRG([]byte("track"))
+	track := RandomTrack(prg, downtown, 50, 30, 60_000)
+	if len(track) != 50 {
+		t.Fatalf("track length %d", len(track))
+	}
+	last := int64(0)
+	for i, tp := range track {
+		if tp.TimeMs <= last {
+			t.Fatal("track timestamps not increasing")
+		}
+		last = tp.TimeMs
+		if len(tp.Wifi) == 0 {
+			t.Fatalf("fix %d has no WiFi", i)
+		}
+	}
+	// Steps stay near 30 m.
+	for i := 1; i < len(track); i++ {
+		d := DistanceMeters(track[i-1].Loc, track[i].Loc)
+		if d > 60 {
+			t.Fatalf("step %d jumped %d m", i, d)
+		}
+	}
+}
+
+func genuineScenario(prg *xcrypto.PRG) (Photo, DeviceContext) {
+	ctx := DeviceContext{
+		Track:          RandomTrack(prg, downtown, 40, 25, 60_000),
+		CamFingerprint: 0xCAFE,
+	}
+	// The photo is taken at fix 20, two minutes later.
+	fix := ctx.Track[20]
+	photo := Photo{
+		ContentHash:    0x1234,
+		TakenMs:        fix.TimeMs + 120_000,
+		Claimed:        fix.Loc,
+		CamFingerprint: 0xCAFE,
+		Wifi:           fix.Wifi,
+	}
+	return photo, ctx
+}
+
+func TestContextFeaturesGenuinePhoto(t *testing.T) {
+	prg := xcrypto.NewPRG([]byte("genuine"))
+	photo, ctx := genuineScenario(prg)
+	f := ContextFeatures(photo, ctx)
+	if f[FeatMinDistM] != 0 {
+		t.Errorf("min dist = %d, want 0", f[FeatMinDistM])
+	}
+	if f[FeatTimeGapS] > 130 {
+		t.Errorf("time gap = %d s", f[FeatTimeGapS])
+	}
+	if f[FeatWifiHits] < 1 {
+		t.Errorf("wifi hits = %d", f[FeatWifiHits])
+	}
+	if f[FeatCamMatch] != 1 {
+		t.Error("camera mismatch for genuine photo")
+	}
+}
+
+func TestContextFeaturesEmptyTrack(t *testing.T) {
+	photo := Photo{Claimed: downtown}
+	f := ContextFeatures(photo, DeviceContext{})
+	if f[FeatMinDistM] < 1<<30 || f[FeatTimeGapS] < 1<<30 {
+		t.Fatal("empty track should yield sentinel distances")
+	}
+}
+
+func TestValidationPredicateAcceptsGenuine(t *testing.T) {
+	prog := DefaultPredicate("maps")
+	if _, err := predicate.Verify(prog); err != nil {
+		t.Fatalf("predicate verification: %v", err)
+	}
+	prg := xcrypto.NewPRG([]byte("accept"))
+	photo, ctx := genuineScenario(prg)
+	features := ContextFeatures(photo, ctx)
+	contribution := []int64{photo.Claimed.LatMicro, photo.Claimed.LonMicro}
+	res, err := predicate.Run(prog, contribution, features, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != 1 {
+		t.Fatalf("genuine photo rejected (features %v)", features)
+	}
+}
+
+func TestValidationPredicateRejectsForgeries(t *testing.T) {
+	prog := DefaultPredicate("maps")
+	prg := xcrypto.NewPRG([]byte("forge"))
+	photo, ctx := genuineScenario(prg)
+
+	cases := map[string]func() ([]int64, []int64){
+		"claimed location never visited": func() ([]int64, []int64) {
+			forged := photo
+			forged.Claimed = Point{LatMicro: downtown.LatMicro + 500_000, LonMicro: downtown.LonMicro}
+			f := ContextFeatures(forged, ctx)
+			return []int64{forged.Claimed.LatMicro, forged.Claimed.LonMicro}, f
+		},
+		"photo from another camera": func() ([]int64, []int64) {
+			forged := photo
+			forged.CamFingerprint = 0xBEEF
+			f := ContextFeatures(forged, ctx)
+			return []int64{forged.Claimed.LatMicro, forged.Claimed.LonMicro}, f
+		},
+		"host swaps coordinates after validation": func() ([]int64, []int64) {
+			f := ContextFeatures(photo, ctx)
+			return []int64{photo.Claimed.LatMicro + 1000, photo.Claimed.LonMicro}, f
+		},
+		"stale photo (taken hours away from track)": func() ([]int64, []int64) {
+			forged := photo
+			forged.TakenMs += 6 * 3600 * 1000
+			f := ContextFeatures(forged, ctx)
+			return []int64{forged.Claimed.LatMicro, forged.Claimed.LonMicro}, f
+		},
+	}
+	for name, mk := range cases {
+		contribution, features := mk()
+		res, err := predicate.Run(prog, contribution, features, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Verdict != 0 {
+			t.Errorf("%s: forged photo accepted", name)
+		}
+	}
+}
+
+// Property: distance is non-negative and roughly translation-invariant for
+// small offsets.
+func TestQuickDistanceProperties(t *testing.T) {
+	f := func(dLat, dLon int16) bool {
+		a := downtown
+		b := Point{LatMicro: a.LatMicro + int64(dLat), LonMicro: a.LonMicro + int64(dLon)}
+		d := DistanceMeters(a, b)
+		if d < 0 {
+			return false
+		}
+		// Shift both points north; distance stays within a meter.
+		a2 := Point{LatMicro: a.LatMicro + 1000, LonMicro: a.LonMicro}
+		b2 := Point{LatMicro: b.LatMicro + 1000, LonMicro: b.LonMicro}
+		d2 := DistanceMeters(a2, b2)
+		diff := d - d2
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

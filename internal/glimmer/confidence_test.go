@@ -1,0 +1,103 @@
+package glimmer_test
+
+import (
+	"errors"
+	"testing"
+
+	"glimmers/internal/fixed"
+	"glimmers/internal/glimmer"
+	"glimmers/internal/predicate"
+)
+
+// confidencePredicate returns a verifiable predicate whose verdict is a
+// 0–100 confidence: 100 minus the (clamped) distance of contribution[0]
+// from the private expectation, scaled.
+func confidencePredicate() *predicate.Program {
+	b := predicate.NewBuilder("confidence", 0)
+	b.LoadC(0).LoadP(0).Sub().Abs() // |claimed - observed|
+	b.Push(100).Swap().Sub()        // 100 - diff
+	b.Push(0).Max()                 // clamp at 0
+	b.Declass().Verdict()
+	return b.MustBuild()
+}
+
+func TestConfidenceVerdicts(t *testing.T) {
+	_, platform, svc := newWorld(t)
+	if err := svc.SetPredicate(confidencePredicate()); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := svc.GlimmerConfig(1, glimmer.ModeNone, glimmer.DefaultPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MinVerdict = 60 // demand >= 60% confidence
+	dev, err := glimmer.NewDevice(platform, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Vet(dev.Measurement())
+	payload, err := svc.BasePayload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Provision(dev, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	// Claim 50, observed 45: confidence 95 — endorsed, with the confidence
+	// carried in the signed message.
+	sc, err := dev.Contribute(1, fixed.Vector{50}, []int64{45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Confidence != 95 {
+		t.Fatalf("Confidence = %d, want 95", sc.Confidence)
+	}
+	if !svc.ContributionVerifyKey().Verify(sc.SignedBytes(), sc.Signature) {
+		t.Fatal("confidence contribution signature invalid")
+	}
+	// The confidence is signature-covered: tampering breaks verification.
+	forged := sc
+	forged.Confidence = 100
+	if svc.ContributionVerifyKey().Verify(forged.SignedBytes(), forged.Signature) {
+		t.Fatal("confidence not covered by the signature")
+	}
+
+	// Claim 50, observed 0: confidence 50 < 60 — refused.
+	if _, err := dev.Contribute(2, fixed.Vector{50}, []int64{0}); !errors.Is(err, glimmer.ErrRejected) {
+		t.Fatalf("low-confidence contribution: err = %v, want ErrRejected", err)
+	}
+}
+
+func TestConfidenceThresholdIsMeasured(t *testing.T) {
+	// Two configs differing only in MinVerdict must measure differently —
+	// a host cannot silently lower the bar.
+	_, _, svc := newWorld(t)
+	strict, err := svc.GlimmerConfig(1, glimmer.ModeNone, glimmer.DefaultPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict.MinVerdict = 90
+	lax := strict
+	lax.MinVerdict = 10
+	if glimmer.BuildBinary(strict).Measurement() == glimmer.BuildBinary(lax).Measurement() {
+		t.Fatal("MinVerdict not folded into the measurement")
+	}
+}
+
+func TestConfidenceRoundTripsThroughCodec(t *testing.T) {
+	sc := glimmer.SignedContribution{
+		ServiceName: "svc",
+		Round:       7,
+		Blinded:     fixed.Vector{1, 2, 3},
+		Confidence:  83,
+		Signature:   []byte("sig"),
+	}
+	back, err := glimmer.DecodeSignedContribution(glimmer.EncodeSignedContribution(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Confidence != 83 {
+		t.Fatalf("Confidence = %d, want 83", back.Confidence)
+	}
+}

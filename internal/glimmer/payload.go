@@ -1,0 +1,288 @@
+package glimmer
+
+import (
+	"fmt"
+
+	"glimmers/internal/fixed"
+	"glimmers/internal/tee"
+	"glimmers/internal/wire"
+)
+
+// ProvisionPayload is what a service installs into a Glimmer over the
+// attested session: signing key, predicate, and blinding material.
+type ProvisionPayload struct {
+	// SigningKey is the PKCS#8 DER of the contribution-signing key.
+	SigningKey []byte
+	// Predicate is the encoded validation program (predicate.Encode). It
+	// travels inside the encrypted session, so a confidential predicate
+	// (§4.1) is never visible to the host.
+	Predicate []byte
+	// Masks maps round numbers to dealer masks (ModeDealer only).
+	Masks map[uint64][]uint64
+	// PartyIndex and Roster configure pairwise blinding (ModePairwise).
+	PartyIndex uint32
+	Roster     [][]byte
+	// DealerMeasurement, when set (32 bytes), names a dealer enclave the
+	// service vouches for: the Glimmer will fetch masks from it over a
+	// mutually attested channel instead of (or in addition to) taking
+	// masks from this payload. AttestationRoot (PKIX DER) is the root the
+	// Glimmer verifies the dealer's quote against.
+	DealerMeasurement []byte
+	AttestationRoot   []byte
+}
+
+// EncodeProvision serializes the payload.
+func EncodeProvision(p ProvisionPayload) []byte {
+	w := wire.NewWriter()
+	w.Bytes(p.SigningKey)
+	w.Bytes(p.Predicate)
+	w.Uint32(uint32(len(p.Masks)))
+	// Deterministic order: rounds ascending.
+	rounds := make([]uint64, 0, len(p.Masks))
+	for r := range p.Masks {
+		rounds = append(rounds, r)
+	}
+	for i := 0; i < len(rounds); i++ {
+		for j := i + 1; j < len(rounds); j++ {
+			if rounds[j] < rounds[i] {
+				rounds[i], rounds[j] = rounds[j], rounds[i]
+			}
+		}
+	}
+	for _, r := range rounds {
+		w.Uint64(r)
+		w.Uint64s(p.Masks[r])
+	}
+	w.Uint32(p.PartyIndex)
+	w.Uint32(uint32(len(p.Roster)))
+	for _, pub := range p.Roster {
+		w.Bytes(pub)
+	}
+	w.Bytes(p.DealerMeasurement)
+	w.Bytes(p.AttestationRoot)
+	return w.Finish()
+}
+
+// DecodeProvision reverses EncodeProvision.
+func DecodeProvision(data []byte) (ProvisionPayload, error) {
+	r := wire.NewReader(data)
+	p := ProvisionPayload{
+		SigningKey: r.Bytes(),
+		Predicate:  r.Bytes(),
+	}
+	nMasks := r.Uint32()
+	if nMasks > 0 {
+		if nMasks > 1<<16 {
+			return p, fmt.Errorf("glimmer: absurd mask count %d", nMasks)
+		}
+		p.Masks = make(map[uint64][]uint64, nMasks)
+		for i := uint32(0); i < nMasks; i++ {
+			round := r.Uint64()
+			p.Masks[round] = r.Uint64s()
+		}
+	}
+	p.PartyIndex = r.Uint32()
+	nRoster := r.Uint32()
+	if nRoster > 1<<16 {
+		return p, fmt.Errorf("glimmer: absurd roster size %d", nRoster)
+	}
+	for i := uint32(0); i < nRoster; i++ {
+		p.Roster = append(p.Roster, r.Bytes())
+	}
+	p.DealerMeasurement = r.Bytes()
+	p.AttestationRoot = r.Bytes()
+	if err := r.Done(); err != nil {
+		return p, fmt.Errorf("glimmer: provision payload: %w", err)
+	}
+	return p, nil
+}
+
+// ContributionRequest is the host's input to the "contribute" ECALL.
+type ContributionRequest struct {
+	// Round is the aggregation round the contribution belongs to.
+	Round uint64
+	// Contribution is the proposed contribution, as raw ring bits.
+	Contribution []uint64
+	// Private is the private validation bank the predicate may inspect.
+	Private []uint64
+}
+
+// EncodeContribution serializes a request.
+func EncodeContribution(req ContributionRequest) []byte {
+	return wire.NewWriter().
+		Uint64(req.Round).
+		Uint64s(req.Contribution).
+		Uint64s(req.Private).
+		Finish()
+}
+
+// DecodeContribution reverses EncodeContribution.
+func DecodeContribution(data []byte) (ContributionRequest, error) {
+	r := wire.NewReader(data)
+	req := ContributionRequest{
+		Round:        r.Uint64(),
+		Contribution: r.Uint64s(),
+		Private:      r.Uint64s(),
+	}
+	if err := r.Done(); err != nil {
+		return req, fmt.Errorf("glimmer: contribution request: %w", err)
+	}
+	return req, nil
+}
+
+// VectorToBits converts a fixed-point vector into the raw bits a request
+// carries.
+func VectorToBits(v fixed.Vector) []uint64 {
+	out := make([]uint64, len(v))
+	for i, r := range v {
+		out[i] = uint64(r)
+	}
+	return out
+}
+
+// Int64sToBits reinterprets an int64 feature bank (e.g. corroboration
+// weights) as request bits.
+func Int64sToBits(vs []int64) []uint64 {
+	out := make([]uint64, len(vs))
+	for i, v := range vs {
+		out[i] = uint64(v)
+	}
+	return out
+}
+
+// SignedContribution is the Glimmer's output: the blinded contribution
+// endorsed by the provisioned signing key. This message is the only thing
+// that crosses from the client to the service, and its format is public so
+// a runtime auditor can bound what it reveals.
+type SignedContribution struct {
+	ServiceName string
+	Round       uint64
+	Measurement tee.Measurement
+	Blinded     fixed.Vector
+	// Confidence is the validation verdict (1 for boolean predicates; up
+	// to the predicate's scale, e.g. 0–100, for confidence-valued ones —
+	// §3's "boolean 'valid'/'invalid', or a confidence value").
+	Confidence int64
+	Signature  []byte
+}
+
+// SignedBytes returns the byte string the signature covers.
+func (sc SignedContribution) SignedBytes() []byte {
+	w := wire.NewWriter()
+	w.String("glimmers/contribution/v1")
+	w.String(sc.ServiceName)
+	w.Uint64(sc.Round)
+	w.Bytes(sc.Measurement[:])
+	w.Uint64s(VectorToBits(sc.Blinded))
+	w.Uint64(uint64(sc.Confidence))
+	return w.Finish()
+}
+
+// EncodeSignedContribution serializes the full message.
+func EncodeSignedContribution(sc SignedContribution) []byte {
+	w := wire.NewWriter()
+	w.String(sc.ServiceName)
+	w.Uint64(sc.Round)
+	w.Bytes(sc.Measurement[:])
+	w.Uint64s(VectorToBits(sc.Blinded))
+	w.Uint64(uint64(sc.Confidence))
+	w.Bytes(sc.Signature)
+	return w.Finish()
+}
+
+// DecodeSignedContribution reverses EncodeSignedContribution.
+func DecodeSignedContribution(data []byte) (SignedContribution, error) {
+	r := wire.NewReader(data)
+	sc := SignedContribution{
+		ServiceName: r.String(),
+		Round:       r.Uint64(),
+	}
+	m := r.Bytes()
+	if len(m) == len(sc.Measurement) {
+		copy(sc.Measurement[:], m)
+	} else if r.Err() == nil {
+		return sc, fmt.Errorf("glimmer: measurement field is %d bytes", len(m))
+	}
+	bits := r.Uint64s()
+	sc.Blinded = make(fixed.Vector, len(bits))
+	for i, b := range bits {
+		sc.Blinded[i] = fixed.Ring(b)
+	}
+	sc.Confidence = int64(r.Uint64())
+	sc.Signature = r.Bytes()
+	if err := r.Done(); err != nil {
+		return sc, fmt.Errorf("glimmer: signed contribution: %w", err)
+	}
+	return sc, nil
+}
+
+// DetectRequest is the host's input to the "detect" ECALL (§4.1).
+type DetectRequest struct {
+	// Challenge is the service-issued nonce the verdict must echo.
+	Challenge []byte
+	// Signals is the private behavioural feature bank.
+	Signals []uint64
+}
+
+// EncodeDetect serializes a detect request.
+func EncodeDetect(req DetectRequest) []byte {
+	return wire.NewWriter().Bytes(req.Challenge).Uint64s(req.Signals).Finish()
+}
+
+// DecodeDetect reverses EncodeDetect.
+func DecodeDetect(data []byte) (DetectRequest, error) {
+	r := wire.NewReader(data)
+	req := DetectRequest{Challenge: r.Bytes(), Signals: r.Uint64s()}
+	if err := r.Done(); err != nil {
+		return req, fmt.Errorf("glimmer: detect request: %w", err)
+	}
+	return req, nil
+}
+
+// Verdict is the §4.1 output message: exactly one bit of information plus
+// the challenge echo and signature the paper's auditor expects.
+type Verdict struct {
+	ServiceName string
+	Challenge   []byte
+	Human       bool
+	Signature   []byte
+}
+
+// SignedBytes returns the byte string the signature covers.
+func (v Verdict) SignedBytes() []byte {
+	return wire.NewWriter().
+		String("glimmers/verdict/v1").
+		String(v.ServiceName).
+		Bytes(v.Challenge).
+		Bool(v.Human).
+		Finish()
+}
+
+// EncodeVerdict serializes the verdict message in the public format.
+func EncodeVerdict(v Verdict) []byte {
+	return wire.NewWriter().
+		String("glimmers/verdict/v1").
+		String(v.ServiceName).
+		Bytes(v.Challenge).
+		Bool(v.Human).
+		Bytes(v.Signature).
+		Finish()
+}
+
+// DecodeVerdict reverses EncodeVerdict, rejecting malformed headers.
+func DecodeVerdict(data []byte) (Verdict, error) {
+	r := wire.NewReader(data)
+	if header := r.String(); header != "glimmers/verdict/v1" && r.Err() == nil {
+		return Verdict{}, fmt.Errorf("glimmer: bad verdict header %q", header)
+	}
+	v := Verdict{
+		ServiceName: r.String(),
+		Challenge:   r.Bytes(),
+		Human:       r.Bool(),
+		Signature:   r.Bytes(),
+	}
+	if err := r.Done(); err != nil {
+		return v, fmt.Errorf("glimmer: verdict: %w", err)
+	}
+	return v, nil
+}

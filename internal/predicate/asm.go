@@ -1,0 +1,157 @@
+package predicate
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses textual assembly into a Program. The syntax is one
+// instruction per line, `;` comments, `name:` labels (forward references
+// only), and `@name` jump targets:
+//
+//	; all weights within [0, scale]
+//	push 1
+//	store 0
+//	loop 4
+//	  idx 0
+//	  loadci
+//	  dup
+//	  push 0
+//	  ge
+//	  swap
+//	  push 1048576
+//	  le
+//	  and
+//	  load 0
+//	  and
+//	  store 0
+//	endloop
+//	load 0
+//	declass
+//	verdict
+//
+// Assembly is how externally authored predicates (e.g. the service-supplied
+// detectors of §4.1) are written, reviewed, and vetted.
+func Assemble(name, src string, locals int) (*Program, error) {
+	nameToOp := make(map[string]Op, len(opNames))
+	for op, opName := range opNames {
+		nameToOp[opName] = op
+	}
+
+	type fixup struct {
+		pc    int
+		label string
+		line  int
+	}
+	var (
+		code   []Instr
+		labels = make(map[string]int)
+		fixups []fixup
+	)
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels may share a line with an instruction: "end: verdict".
+		for {
+			colon := strings.IndexByte(line, ':')
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:colon])
+			if label == "" || strings.ContainsAny(label, " \t") {
+				return nil, fmt.Errorf("predicate: line %d: malformed label %q", lineNo+1, label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("predicate: line %d: duplicate label %q", lineNo+1, label)
+			}
+			labels[label] = len(code)
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		op, ok := nameToOp[fields[0]]
+		if !ok {
+			return nil, fmt.Errorf("predicate: line %d: unknown mnemonic %q", lineNo+1, fields[0])
+		}
+		var arg int64
+		switch {
+		case op.hasArg() && len(fields) == 2:
+			if strings.HasPrefix(fields[1], "@") {
+				if op != OpJmp && op != OpJz {
+					return nil, fmt.Errorf("predicate: line %d: label operand on %s", lineNo+1, op)
+				}
+				fixups = append(fixups, fixup{pc: len(code), label: fields[1][1:], line: lineNo + 1})
+			} else {
+				v, err := strconv.ParseInt(fields[1], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("predicate: line %d: bad operand %q: %v", lineNo+1, fields[1], err)
+				}
+				arg = v
+			}
+		case !op.hasArg() && len(fields) == 1:
+			// no operand
+		default:
+			return nil, fmt.Errorf("predicate: line %d: %s takes %s", lineNo+1, op, operandArity(op))
+		}
+		code = append(code, Instr{Op: op, Arg: arg})
+	}
+
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("predicate: line %d: undefined label %q", f.line, f.label)
+		}
+		code[f.pc].Arg = int64(target - f.pc - 1)
+	}
+	return &Program{Name: name, Code: code, Locals: locals}, nil
+}
+
+func operandArity(op Op) string {
+	if op.hasArg() {
+		return "one operand"
+	}
+	return "no operand"
+}
+
+// Disassemble renders a program back to assembly, resolving jump targets to
+// labels. The output re-assembles to an identical program, which lets a
+// vetting authority publish human-reviewable predicate text alongside the
+// measurement.
+func Disassemble(p *Program) string {
+	targets := make(map[int]string)
+	for pc, ins := range p.Code {
+		if ins.Op == OpJmp || ins.Op == OpJz {
+			t := pc + 1 + int(ins.Arg)
+			if _, ok := targets[t]; !ok {
+				targets[t] = fmt.Sprintf("L%d", len(targets))
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; program %q, %d locals\n", p.Name, p.Locals)
+	for pc, ins := range p.Code {
+		if label, ok := targets[pc]; ok {
+			fmt.Fprintf(&sb, "%s:\n", label)
+		}
+		switch ins.Op {
+		case OpJmp, OpJz:
+			fmt.Fprintf(&sb, "  %s @%s\n", ins.Op, targets[pc+1+int(ins.Arg)])
+		default:
+			fmt.Fprintf(&sb, "  %s\n", ins)
+		}
+	}
+	if label, ok := targets[len(p.Code)]; ok {
+		fmt.Fprintf(&sb, "%s:\n", label)
+	}
+	return sb.String()
+}

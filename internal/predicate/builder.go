@@ -1,0 +1,131 @@
+package predicate
+
+import "fmt"
+
+// Builder assembles programs programmatically with structured loops and
+// forward label references. It is how the rest of the system (and the
+// standard predicate library) constructs predicates.
+type Builder struct {
+	name    string
+	code    []Instr
+	locals  int
+	pending map[*Label][]int // label -> pcs of jumps awaiting resolution
+	errs    []error
+}
+
+// Label is a forward jump target.
+type Label struct{ bound bool }
+
+// NewBuilder starts a program with the given name and local-variable count.
+func NewBuilder(name string, locals int) *Builder {
+	return &Builder{name: name, locals: locals, pending: make(map[*Label][]int)}
+}
+
+func (b *Builder) emit(op Op, arg int64) *Builder {
+	b.code = append(b.code, Instr{Op: op, Arg: arg})
+	return b
+}
+
+// Instruction emitters, one per opcode.
+
+func (b *Builder) Push(v int64) *Builder  { return b.emit(OpPush, v) }
+func (b *Builder) LoadC(i int) *Builder   { return b.emit(OpLoadC, int64(i)) }
+func (b *Builder) LoadP(i int) *Builder   { return b.emit(OpLoadP, int64(i)) }
+func (b *Builder) LoadCI() *Builder       { return b.emit(OpLoadCI, 0) }
+func (b *Builder) LoadPI() *Builder       { return b.emit(OpLoadPI, 0) }
+func (b *Builder) LenC() *Builder         { return b.emit(OpLenC, 0) }
+func (b *Builder) LenP() *Builder         { return b.emit(OpLenP, 0) }
+func (b *Builder) Load(slot int) *Builder { return b.emit(OpLoad, int64(slot)) }
+func (b *Builder) Store(slot int) *Builder {
+	return b.emit(OpStore, int64(slot))
+}
+func (b *Builder) Idx(depth int) *Builder { return b.emit(OpIdx, int64(depth)) }
+func (b *Builder) Add() *Builder          { return b.emit(OpAdd, 0) }
+func (b *Builder) Sub() *Builder          { return b.emit(OpSub, 0) }
+func (b *Builder) Mul() *Builder          { return b.emit(OpMul, 0) }
+func (b *Builder) Div() *Builder          { return b.emit(OpDiv, 0) }
+func (b *Builder) Mod() *Builder          { return b.emit(OpMod, 0) }
+func (b *Builder) Neg() *Builder          { return b.emit(OpNeg, 0) }
+func (b *Builder) Abs() *Builder          { return b.emit(OpAbs, 0) }
+func (b *Builder) Min() *Builder          { return b.emit(OpMin, 0) }
+func (b *Builder) Max() *Builder          { return b.emit(OpMax, 0) }
+func (b *Builder) Lt() *Builder           { return b.emit(OpLt, 0) }
+func (b *Builder) Le() *Builder           { return b.emit(OpLe, 0) }
+func (b *Builder) Gt() *Builder           { return b.emit(OpGt, 0) }
+func (b *Builder) Ge() *Builder           { return b.emit(OpGe, 0) }
+func (b *Builder) Eq() *Builder           { return b.emit(OpEq, 0) }
+func (b *Builder) Ne() *Builder           { return b.emit(OpNe, 0) }
+func (b *Builder) And() *Builder          { return b.emit(OpAnd, 0) }
+func (b *Builder) Or() *Builder           { return b.emit(OpOr, 0) }
+func (b *Builder) Not() *Builder          { return b.emit(OpNot, 0) }
+func (b *Builder) Dup() *Builder          { return b.emit(OpDup, 0) }
+func (b *Builder) Pop() *Builder          { return b.emit(OpPop, 0) }
+func (b *Builder) Swap() *Builder         { return b.emit(OpSwap, 0) }
+func (b *Builder) Over() *Builder         { return b.emit(OpOver, 0) }
+func (b *Builder) Select() *Builder       { return b.emit(OpSelect, 0) }
+func (b *Builder) Declass() *Builder      { return b.emit(OpDeclass, 0) }
+func (b *Builder) Verdict() *Builder      { return b.emit(OpVerdict, 0) }
+func (b *Builder) Halt() *Builder         { return b.emit(OpHalt, 0) }
+
+// NewLabel creates an unbound forward target.
+func (b *Builder) NewLabel() *Label { return &Label{} }
+
+// Jmp emits an unconditional forward jump to the (not yet bound) label.
+func (b *Builder) Jmp(l *Label) *Builder {
+	b.pending[l] = append(b.pending[l], len(b.code))
+	return b.emit(OpJmp, 0)
+}
+
+// Jz emits a conditional forward jump to the label, taken when the popped
+// condition is zero.
+func (b *Builder) Jz(l *Label) *Builder {
+	b.pending[l] = append(b.pending[l], len(b.code))
+	return b.emit(OpJz, 0)
+}
+
+// Bind fixes the label at the current position. Binding twice is an error.
+func (b *Builder) Bind(l *Label) *Builder {
+	if l.bound {
+		b.errs = append(b.errs, fmt.Errorf("predicate: label bound twice"))
+		return b
+	}
+	l.bound = true
+	target := len(b.code)
+	for _, pc := range b.pending[l] {
+		b.code[pc].Arg = int64(target - pc - 1)
+	}
+	delete(b.pending, l)
+	return b
+}
+
+// Loop emits a constant-count loop around the body built by fn.
+func (b *Builder) Loop(count int64, fn func(*Builder)) *Builder {
+	b.emit(OpLoop, count)
+	fn(b)
+	return b.emit(OpEndLoop, 0)
+}
+
+// Build finalizes the program. It fails if any label was never bound.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if len(b.pending) > 0 {
+		return nil, fmt.Errorf("predicate: %d labels never bound", len(b.pending))
+	}
+	return &Program{
+		Name:   b.name,
+		Code:   append([]Instr(nil), b.code...),
+		Locals: b.locals,
+	}, nil
+}
+
+// MustBuild is Build for statically known-correct programs (the standard
+// library); it panics on error.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

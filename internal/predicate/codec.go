@@ -1,0 +1,65 @@
+package predicate
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"glimmers/internal/wire"
+	"glimmers/internal/xcrypto"
+)
+
+// Encode serializes a program deterministically. The encoding doubles as
+// the program's identity: vetting authorities publish SHA-256(Encode(p)).
+func Encode(p *Program) []byte {
+	w := wire.NewWriter()
+	w.String(p.Name)
+	w.Uint32(uint32(p.Locals))
+	w.Uint32(uint32(len(p.Code)))
+	for _, ins := range p.Code {
+		w.Byte(byte(ins.Op))
+		w.Uint64(uint64(ins.Arg))
+	}
+	return w.Finish()
+}
+
+// Decode reverses Encode.
+func Decode(data []byte) (*Program, error) {
+	r := wire.NewReader(data)
+	p := &Program{Name: r.String(), Locals: int(r.Uint32())}
+	n := r.Uint32()
+	if n > MaxCode {
+		return nil, fmt.Errorf("%w: %d instructions", ErrTooLarge, n)
+	}
+	p.Code = make([]Instr, n)
+	for i := range p.Code {
+		p.Code[i] = Instr{Op: Op(r.Byte()), Arg: int64(r.Uint64())}
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("predicate: decode: %w", err)
+	}
+	return p, nil
+}
+
+// Digest returns the program's canonical identity hash.
+func Digest(p *Program) [32]byte {
+	return sha256.Sum256(Encode(p))
+}
+
+// Encrypt wraps a program in an authenticated encrypted container for
+// validation confidentiality (§4.1): the service ships the predicate to the
+// Glimmer over an attested channel without the host — or the user — seeing
+// its logic. The associated data binds the container to a context (e.g. the
+// service identity and protocol version).
+func Encrypt(p *Program, key [32]byte, associated []byte) ([]byte, error) {
+	return xcrypto.Seal(key, Encode(p), associated)
+}
+
+// Decrypt opens an encrypted predicate container. It runs inside the
+// Glimmer enclave; the plaintext program never exists outside it.
+func Decrypt(container []byte, key [32]byte, associated []byte) (*Program, error) {
+	plaintext, err := xcrypto.Open(key, container, associated)
+	if err != nil {
+		return nil, fmt.Errorf("predicate: decrypt: %w", err)
+	}
+	return Decode(plaintext)
+}

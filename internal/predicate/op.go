@@ -1,0 +1,173 @@
+// Package predicate implements the validation-predicate machine Glimmers
+// run over private data.
+//
+// Section 3 of the paper argues a Glimmer is amenable to formal verification
+// because its validation logic is written in a simple language with
+// low-complexity idioms — bounded loops, no function pointers — with secret
+// inputs explicitly marked and declassification points explicit. This
+// package is that language:
+//
+//   - Programs are stack bytecode with structured, constant-bound loops and
+//     forward-only jumps, so every program provably terminates within a
+//     statically computed cost bound.
+//   - The static verifier (Verify) checks stack discipline, jump structure,
+//     loop bounds, and performs an information-flow analysis proving that
+//     the verdict cannot depend on secret inputs except through explicit
+//     DECLASS instructions.
+//   - The interpreter (Run) additionally enforces taint dynamically — a
+//     defense-in-depth backstop — and can record a branch trace, the
+//     VM-level analogue of the XTrec execution tracing the paper cites for
+//     corroborating claimed computations.
+//   - Programs serialize deterministically and can be shipped encrypted to
+//     a Glimmer (validation confidentiality, §4.1).
+//
+// Inputs come in two banks, mirroring Figure 3: the contribution (what the
+// user proposes to send the service) and private validation data (context
+// the predicate may inspect but which must never leave). Both are secret;
+// the only public output is the verdict.
+package predicate
+
+import "fmt"
+
+// Op is a bytecode opcode.
+type Op byte
+
+// The instruction set. Arithmetic is int64 (fixed-point values from
+// internal/fixed are range-checked as raw int64 with Scale as a constant).
+const (
+	// OpHalt stops execution without a verdict (an error unless a verdict
+	// was already set by OpVerdict, which halts on its own).
+	OpHalt Op = iota
+	// OpPush pushes the immediate Arg (untainted constant).
+	OpPush
+	// OpLoadC pushes contribution[Arg] (secret).
+	OpLoadC
+	// OpLoadP pushes private[Arg] (secret).
+	OpLoadP
+	// OpLoadCI pops an index and pushes contribution[index] (secret).
+	OpLoadCI
+	// OpLoadPI pops an index and pushes private[index] (secret).
+	OpLoadPI
+	// OpLenC pushes len(contribution). Lengths are public.
+	OpLenC
+	// OpLenP pushes len(private).
+	OpLenP
+	// OpLoad pushes local variable Arg.
+	OpLoad
+	// OpStore pops into local variable Arg.
+	OpStore
+	// OpIdx pushes the current index of the Arg-th enclosing loop
+	// (0 = innermost). Untainted.
+	OpIdx
+	// Arithmetic: pop operands, push result. Taint is the union.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv // division by zero is a runtime error
+	OpMod // modulo by zero is a runtime error
+	OpNeg
+	OpAbs
+	OpMin
+	OpMax
+	// Comparisons push 1 or 0.
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpEq
+	OpNe
+	// Logic treats nonzero as true, pushes 1 or 0.
+	OpAnd
+	OpOr
+	OpNot
+	// Stack manipulation.
+	OpDup
+	OpPop
+	OpSwap
+	OpOver
+	// OpSelect pops cond, onFalse, onTrue and pushes onTrue if cond != 0
+	// else onFalse. Taint is the union of all three.
+	OpSelect
+	// OpJmp jumps forward by Arg instructions (target pc+1+Arg).
+	OpJmp
+	// OpJz pops a condition and jumps forward by Arg if it is zero. The
+	// taken/not-taken outcome is recorded in the branch trace.
+	OpJz
+	// OpLoop begins a loop executing its body exactly Arg times (Arg >= 0,
+	// constant). Loops nest; bodies must be stack-neutral.
+	OpLoop
+	// OpEndLoop closes the innermost OpLoop.
+	OpEndLoop
+	// OpDeclass pops a value and pushes it untainted. This is the explicit
+	// declassification point the paper requires programmers to mark.
+	OpDeclass
+	// OpVerdict pops the final (untainted) verdict and halts.
+	OpVerdict
+
+	opCount // sentinel
+)
+
+var opNames = map[Op]string{
+	OpHalt: "halt", OpPush: "push", OpLoadC: "loadc", OpLoadP: "loadp",
+	OpLoadCI: "loadci", OpLoadPI: "loadpi", OpLenC: "lenc", OpLenP: "lenp",
+	OpLoad: "load", OpStore: "store", OpIdx: "idx",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpMod: "mod",
+	OpNeg: "neg", OpAbs: "abs", OpMin: "min", OpMax: "max",
+	OpLt: "lt", OpLe: "le", OpGt: "gt", OpGe: "ge", OpEq: "eq", OpNe: "ne",
+	OpAnd: "and", OpOr: "or", OpNot: "not",
+	OpDup: "dup", OpPop: "pop", OpSwap: "swap", OpOver: "over",
+	OpSelect: "select", OpJmp: "jmp", OpJz: "jz",
+	OpLoop: "loop", OpEndLoop: "endloop",
+	OpDeclass: "declass", OpVerdict: "verdict",
+}
+
+// String returns the assembly mnemonic for the opcode.
+func (o Op) String() string {
+	if name, ok := opNames[o]; ok {
+		return name
+	}
+	return fmt.Sprintf("op(%d)", byte(o))
+}
+
+// hasArg reports whether the opcode carries an immediate argument.
+func (o Op) hasArg() bool {
+	switch o {
+	case OpPush, OpLoadC, OpLoadP, OpLoad, OpStore, OpIdx, OpJmp, OpJz, OpLoop:
+		return true
+	}
+	return false
+}
+
+// Instr is one instruction.
+type Instr struct {
+	Op  Op
+	Arg int64
+}
+
+// String renders the instruction in assembly form.
+func (i Instr) String() string {
+	if i.Op.hasArg() {
+		return fmt.Sprintf("%s %d", i.Op, i.Arg)
+	}
+	return i.Op.String()
+}
+
+// Program is a validation predicate: named, versioned bytecode.
+type Program struct {
+	// Name identifies the predicate in logs and provenance records.
+	Name string
+	// Code is the instruction sequence.
+	Code []Instr
+	// Locals is the number of local variable slots the program may use.
+	Locals int
+}
+
+// Structural limits enforced by the verifier.
+const (
+	MaxCode      = 1 << 16 // instructions per program
+	MaxLocals    = 64
+	MaxStack     = 256
+	MaxLoopCount = 1 << 20 // iterations per single loop
+	MaxCost      = 1 << 26 // total instruction budget including loops
+	MaxNesting   = 8       // loop nesting depth
+)

@@ -1,0 +1,128 @@
+package service
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"glimmers/internal/fixed"
+	"glimmers/internal/glimmer"
+	"glimmers/internal/tee"
+	"glimmers/internal/xcrypto"
+)
+
+// Aggregator collects signed, blinded contributions for one round and
+// recovers the exact aggregate once the cohort is complete (Figure 1c's
+// server side). It enforces the service's trust policy: only contributions
+// endorsed by a vetted Glimmer's signing key count.
+type Aggregator struct {
+	serviceName string
+	verify      *xcrypto.VerifyKey
+	allowed     map[tee.Measurement]bool
+	dim         int
+	round       uint64
+
+	sum   fixed.Vector
+	count int
+	seen  map[[32]byte]bool
+
+	rejected int
+}
+
+// Aggregator errors.
+var (
+	ErrBadSignature   = errors.New("service: contribution signature invalid")
+	ErrWrongRound     = errors.New("service: contribution for a different round")
+	ErrWrongService   = errors.New("service: contribution for a different service")
+	ErrWrongDim       = errors.New("service: contribution has wrong dimension")
+	ErrUnknownGlimmer = errors.New("service: contribution from unvetted glimmer")
+	ErrDuplicate      = errors.New("service: duplicate contribution")
+)
+
+// NewAggregator starts collection for one round.
+func NewAggregator(serviceName string, verify *xcrypto.VerifyKey, dim int, round uint64) *Aggregator {
+	return &Aggregator{
+		serviceName: serviceName,
+		verify:      verify,
+		allowed:     make(map[tee.Measurement]bool),
+		dim:         dim,
+		round:       round,
+		sum:         fixed.NewVector(dim),
+		seen:        make(map[[32]byte]bool),
+	}
+}
+
+// Vet allowlists a Glimmer measurement for this aggregator.
+func (a *Aggregator) Vet(m tee.Measurement) { a.allowed[m] = true }
+
+// Add verifies and accumulates one encoded SignedContribution.
+func (a *Aggregator) Add(raw []byte) error {
+	sc, err := glimmer.DecodeSignedContribution(raw)
+	if err != nil {
+		a.rejected++
+		return fmt.Errorf("service: %w", err)
+	}
+	if sc.ServiceName != a.serviceName {
+		a.rejected++
+		return ErrWrongService
+	}
+	if sc.Round != a.round {
+		a.rejected++
+		return ErrWrongRound
+	}
+	if len(sc.Blinded) != a.dim {
+		a.rejected++
+		return ErrWrongDim
+	}
+	if len(a.allowed) > 0 && !a.allowed[sc.Measurement] {
+		a.rejected++
+		return ErrUnknownGlimmer
+	}
+	if !a.verify.Verify(sc.SignedBytes(), sc.Signature) {
+		a.rejected++
+		return ErrBadSignature
+	}
+	digest := sha256.Sum256(raw)
+	if a.seen[digest] {
+		a.rejected++
+		return ErrDuplicate
+	}
+	a.seen[digest] = true
+	a.sum.AddInPlace(sc.Blinded)
+	a.count++
+	return nil
+}
+
+// Count reports accepted contributions.
+func (a *Aggregator) Count() int { return a.count }
+
+// Rejected reports refused submissions.
+func (a *Aggregator) Rejected() int { return a.rejected }
+
+// Sum returns the aggregate sum. With a complete cohort the blinding masks
+// have cancelled and this is the exact sum of the true contributions.
+func (a *Aggregator) Sum() fixed.Vector { return a.sum.Clone() }
+
+// Mean returns the aggregate mean over accepted contributions.
+func (a *Aggregator) Mean() (fixed.Vector, error) {
+	if a.count == 0 {
+		return nil, errors.New("service: no contributions accepted")
+	}
+	out := a.sum.Clone()
+	for i := range out {
+		out[i] = fixed.Ring(int64(out[i]) / int64(a.count))
+	}
+	return out, nil
+}
+
+// CorrectDropout removes a reconstructed mask from the aggregate after a
+// client dropped out mid-round (see blind.RecoverMask). The mask is added
+// because the surviving sum is missing exactly the dropped client's mask
+// cancellation.
+func (a *Aggregator) CorrectDropout(recoveredMask fixed.Vector) error {
+	if len(recoveredMask) != a.dim {
+		return ErrWrongDim
+	}
+	a.sum.AddInPlace(recoveredMask)
+	return nil
+}

@@ -1,0 +1,78 @@
+package service
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+
+	"glimmers/internal/audit"
+	"glimmers/internal/glimmer"
+	"glimmers/internal/xcrypto"
+)
+
+// BotGate is the §4.1 web-service side of bot detection: it issues
+// challenges, audits incoming verdict messages against the public format,
+// and accepts exactly one bit per challenge — human or not.
+type BotGate struct {
+	serviceName string
+	verify      *xcrypto.VerifyKey
+	format      *audit.Format
+	// issued tracks outstanding challenges; each may be answered once.
+	issued map[string]bool
+}
+
+// BotGate errors.
+var (
+	ErrUnknownChallenge = errors.New("service: unknown or reused challenge")
+	ErrVerdictSignature = errors.New("service: verdict signature invalid")
+)
+
+// NewBotGate creates a gate verifying verdicts with the Glimmer
+// contribution key.
+func NewBotGate(serviceName string, verify *xcrypto.VerifyKey) *BotGate {
+	return &BotGate{
+		serviceName: serviceName,
+		verify:      verify,
+		format:      audit.VerdictFormat(serviceName),
+		issued:      make(map[string]bool),
+	}
+}
+
+// NewChallenge issues a fresh nonce for one detection round.
+func (g *BotGate) NewChallenge() ([]byte, error) {
+	c := make([]byte, 16)
+	if _, err := rand.Read(c); err != nil {
+		return nil, fmt.Errorf("service: challenge: %w", err)
+	}
+	g.issued[string(c)] = true
+	return c, nil
+}
+
+// CheckVerdict audits and verifies one verdict message, returning the
+// single bit it carries. The challenge is consumed: replays fail.
+func (g *BotGate) CheckVerdict(raw []byte) (bool, error) {
+	v, err := glimmer.DecodeVerdict(raw)
+	if err != nil {
+		return false, fmt.Errorf("service: verdict: %w", err)
+	}
+	if !g.issued[string(v.Challenge)] {
+		return false, ErrUnknownChallenge
+	}
+	// Runtime audit: the message must match the public format exactly and
+	// carry no more than the format's one bit.
+	rep, err := g.format.Check(raw, map[string][]byte{"challenge": v.Challenge})
+	if err != nil {
+		return false, fmt.Errorf("service: audit: %w", err)
+	}
+	if rep.InfoBits != 1 {
+		return false, fmt.Errorf("service: audit: message carries %d bits, want 1", rep.InfoBits)
+	}
+	if v.ServiceName != g.serviceName {
+		return false, ErrWrongService
+	}
+	if !g.verify.Verify(v.SignedBytes(), v.Signature) {
+		return false, ErrVerdictSignature
+	}
+	delete(g.issued, string(v.Challenge))
+	return v.Human, nil
+}

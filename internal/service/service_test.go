@@ -1,0 +1,211 @@
+package service
+
+import (
+	"errors"
+	"testing"
+
+	"glimmers/internal/fixed"
+	"glimmers/internal/glimmer"
+	"glimmers/internal/predicate"
+	"glimmers/internal/tee"
+	"glimmers/internal/xcrypto"
+)
+
+func TestNewValidation(t *testing.T) {
+	key, err := xcrypto.NewSigningKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New("", key.Public()); err == nil {
+		t.Fatal("empty service name accepted")
+	}
+}
+
+func TestSetPredicateRejectsUnverifiable(t *testing.T) {
+	key, err := xcrypto.NewSigningKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New("svc", key.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	leak := &predicate.Program{Name: "leak", Code: []predicate.Instr{
+		{Op: predicate.OpLoadP, Arg: 0}, {Op: predicate.OpVerdict},
+	}}
+	if err := svc.SetPredicate(leak); err == nil {
+		t.Fatal("unverifiable predicate accepted by service")
+	}
+	if _, err := svc.BasePayload(); err == nil {
+		t.Fatal("BasePayload without a predicate should fail")
+	}
+}
+
+// signedContribution fabricates a contribution signed by key.
+func signedContribution(t *testing.T, key *xcrypto.SigningKey, name string, round uint64, dim int) glimmer.SignedContribution {
+	t.Helper()
+	sc := glimmer.SignedContribution{
+		ServiceName: name,
+		Round:       round,
+		Measurement: tee.Measurement{1, 2, 3},
+		Blinded:     fixed.NewVector(dim),
+	}
+	sig, err := key.Sign(sc.SignedBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Signature = sig
+	return sc
+}
+
+func TestAggregatorPolicyChecks(t *testing.T) {
+	key, err := xcrypto.NewSigningKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dim, round = 4, uint64(2)
+	agg := NewAggregator("svc", key.Public(), dim, round)
+	agg.Vet(tee.Measurement{1, 2, 3})
+
+	good := signedContribution(t, key, "svc", round, dim)
+	if err := agg.Add(glimmer.EncodeSignedContribution(good)); err != nil {
+		t.Fatalf("valid contribution refused: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mk   func() glimmer.SignedContribution
+		want error
+	}{
+		{"wrong service", func() glimmer.SignedContribution {
+			return signedContribution(t, key, "other", round, dim)
+		}, ErrWrongService},
+		{"wrong round", func() glimmer.SignedContribution {
+			return signedContribution(t, key, "svc", round+1, dim)
+		}, ErrWrongRound},
+		{"wrong dim", func() glimmer.SignedContribution {
+			return signedContribution(t, key, "svc", round, dim+1)
+		}, ErrWrongDim},
+		{"unvetted measurement", func() glimmer.SignedContribution {
+			sc := signedContribution(t, key, "svc", round, dim)
+			sc.Measurement = tee.Measurement{9}
+			sig, err := key.Sign(sc.SignedBytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc.Signature = sig
+			return sc
+		}, ErrUnknownGlimmer},
+		{"forged signature", func() glimmer.SignedContribution {
+			sc := signedContribution(t, key, "svc", round, dim)
+			sc.Blinded[0] = 99
+			return sc
+		}, ErrBadSignature},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := agg.Add(glimmer.EncodeSignedContribution(c.mk())); !errors.Is(err, c.want) {
+				t.Fatalf("err = %v, want %v", err, c.want)
+			}
+		})
+	}
+	if agg.Count() != 1 {
+		t.Fatalf("count = %d, want 1", agg.Count())
+	}
+	if agg.Rejected() != len(cases) {
+		t.Fatalf("rejected = %d, want %d", agg.Rejected(), len(cases))
+	}
+	if _, err := agg.Mean(); err != nil {
+		t.Fatalf("mean: %v", err)
+	}
+}
+
+func TestAggregatorGarbageAndEmptyMean(t *testing.T) {
+	key, err := xcrypto.NewSigningKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := NewAggregator("svc", key.Public(), 4, 1)
+	if err := agg.Add([]byte("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := agg.Mean(); err == nil {
+		t.Fatal("mean of nothing accepted")
+	}
+	if err := agg.CorrectDropout(fixed.NewVector(3)); !errors.Is(err, ErrWrongDim) {
+		t.Fatalf("dropout dim err = %v", err)
+	}
+}
+
+func TestAggregatorWithoutAllowlistAcceptsAnyMeasurement(t *testing.T) {
+	key, err := xcrypto.NewSigningKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := NewAggregator("svc", key.Public(), 4, 1)
+	sc := signedContribution(t, key, "svc", 1, 4)
+	if err := agg.Add(glimmer.EncodeSignedContribution(sc)); err != nil {
+		t.Fatalf("no-allowlist aggregator refused contribution: %v", err)
+	}
+}
+
+func TestBotGateChallengeLifecycle(t *testing.T) {
+	key, err := xcrypto.NewSigningKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := NewBotGate("svc", key.Public())
+	challenge, err := gate.NewChallenge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := glimmer.Verdict{ServiceName: "svc", Challenge: challenge, Human: true}
+	sig, err := key.Sign(v.SignedBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Signature = sig
+	human, err := gate.CheckVerdict(glimmer.EncodeVerdict(v))
+	if err != nil || !human {
+		t.Fatalf("CheckVerdict = (%v, %v)", human, err)
+	}
+	// Unknown challenge.
+	v2 := v
+	v2.Challenge = []byte("never issued")
+	sig2, err := key.Sign(v2.SignedBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2.Signature = sig2
+	if _, err := gate.CheckVerdict(glimmer.EncodeVerdict(v2)); !errors.Is(err, ErrUnknownChallenge) {
+		t.Fatalf("err = %v, want ErrUnknownChallenge", err)
+	}
+}
+
+func TestBotGateRejectsWrongKeyAndGarbage(t *testing.T) {
+	key, err := xcrypto.NewSigningKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong, err := xcrypto.NewSigningKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := NewBotGate("svc", key.Public())
+	challenge, err := gate.NewChallenge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := glimmer.Verdict{ServiceName: "svc", Challenge: challenge, Human: false}
+	sig, err := wrong.Sign(v.SignedBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Signature = sig
+	if _, err := gate.CheckVerdict(glimmer.EncodeVerdict(v)); !errors.Is(err, ErrVerdictSignature) {
+		t.Fatalf("err = %v, want ErrVerdictSignature", err)
+	}
+	if _, err := gate.CheckVerdict([]byte("garbage")); err == nil {
+		t.Fatal("garbage verdict accepted")
+	}
+}

@@ -1,0 +1,105 @@
+package tee
+
+import (
+	"errors"
+	"testing"
+)
+
+// objectBinary exposes the object store through ECALLs for testing.
+func objectBinary() *Binary {
+	return NewBinary("obj", "1", []byte("obj-code")).
+		Define("put", func(env *Env, input []byte) ([]byte, error) {
+			return nil, env.PutObject(string(input), len(input))
+		}).
+		Define("get", func(env *Env, input []byte) ([]byte, error) {
+			v, ok := env.GetObject(string(input))
+			if !ok {
+				return nil, errors.New("missing")
+			}
+			return []byte{byte(v.(int))}, nil
+		}).
+		Define("del", func(env *Env, input []byte) ([]byte, error) {
+			env.DeleteObject(string(input))
+			return nil, nil
+		}).
+		Define("mem", func(env *Env, input []byte) ([]byte, error) {
+			return []byte{byte(env.MemoryUsed() / objectNominalSize)}, nil
+		})
+}
+
+func TestObjectStoreRoundTrip(t *testing.T) {
+	_, p := testPlatform(t)
+	e, err := p.Load(objectBinary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Call("put", []byte("key")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Call("get", []byte("key"))
+	if err != nil || got[0] != 3 {
+		t.Fatalf("get = (%v, %v)", got, err)
+	}
+	if _, err := e.Call("get", []byte("other")); err == nil {
+		t.Fatal("missing object found")
+	}
+	if _, err := e.Call("del", []byte("key")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Call("get", []byte("key")); err == nil {
+		t.Fatal("object survived delete")
+	}
+}
+
+func TestObjectStoreEPCAccounting(t *testing.T) {
+	_, p := testPlatform(t)
+	e, err := p.Load(objectBinary(), WithEPCBudget(2*objectNominalSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Call("put", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Call("put", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	// Third object exceeds the budget.
+	if _, err := e.Call("put", []byte("c")); !errors.Is(err, ErrEPCExhausted) {
+		t.Fatalf("err = %v, want ErrEPCExhausted", err)
+	}
+	// Replacing an existing object is free.
+	if _, err := e.Call("put", []byte("a")); err != nil {
+		t.Fatalf("replace charged twice: %v", err)
+	}
+	// Deleting releases budget.
+	if _, err := e.Call("del", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Call("put", []byte("c")); err != nil {
+		t.Fatalf("budget not released by delete: %v", err)
+	}
+	mem, err := e.Call("mem", nil)
+	if err != nil || mem[0] != 2 {
+		t.Fatalf("mem = (%v, %v), want 2 objects", mem, err)
+	}
+}
+
+func TestObjectStoreIsolatedBetweenEnclaves(t *testing.T) {
+	_, p := testPlatform(t)
+	a, err := p.Load(objectBinary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Load(objectBinary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Call("put", []byte("secret")); err != nil {
+		t.Fatal(err)
+	}
+	// The sibling enclave (same binary!) must not see it: object state is
+	// per-enclave, not per-binary.
+	if _, err := b.Call("get", []byte("secret")); err == nil {
+		t.Fatal("object visible across enclave instances")
+	}
+}

@@ -1,0 +1,150 @@
+package tee
+
+import (
+	"bytes"
+	"crypto/subtle"
+	"errors"
+	"fmt"
+
+	"glimmers/internal/xcrypto"
+)
+
+// ReportDataSize is the number of user-controlled bytes a report carries,
+// matching SGX's 64-byte REPORTDATA field. Protocols put a hash of whatever
+// they want bound to the attestation (e.g. a DH public value) here.
+const ReportDataSize = 64
+
+// Report is a local attestation statement: this measurement, from this
+// signer, on this platform, vouches for this data. Its MAC is keyed by a
+// platform secret, so only enclaves on the same platform can verify it.
+type Report struct {
+	Measurement Measurement
+	Signer      SignerID
+	Platform    PlatformID
+	Data        [ReportDataSize]byte
+	MAC         [32]byte
+}
+
+func (r Report) signedBytes() []byte {
+	var buf bytes.Buffer
+	buf.WriteString("glimmers/tee/report/v1\x00")
+	buf.Write(r.Measurement[:])
+	buf.Write(r.Signer[:])
+	buf.Write(r.Platform[:])
+	buf.Write(r.Data[:])
+	return buf.Bytes()
+}
+
+// NewReport creates a report binding up to ReportDataSize bytes of data to
+// the running enclave's identity.
+func (env *Env) NewReport(data []byte) (Report, error) {
+	if len(data) > ReportDataSize {
+		return Report{}, fmt.Errorf("tee: report data %d bytes exceeds %d", len(data), ReportDataSize)
+	}
+	r := Report{
+		Measurement: env.enclave.measurement,
+		Signer:      env.enclave.signerID,
+		Platform:    env.enclave.platform.id,
+	}
+	copy(r.Data[:], data)
+	r.MAC = env.enclave.platform.reportMAC(r.signedBytes())
+	return r, nil
+}
+
+// VerifyReport checks a report produced on the same platform (local
+// attestation between enclaves, used by decomposed Glimmers to trust each
+// other's components).
+func (env *Env) VerifyReport(r Report) bool {
+	if r.Platform != env.enclave.platform.id {
+		return false
+	}
+	want := env.enclave.platform.reportMAC(r.signedBytes())
+	return subtle.ConstantTimeCompare(want[:], r.MAC[:]) == 1
+}
+
+// Quote is a remotely verifiable attestation: a report signed by the
+// platform's certified attestation key. Anyone holding the attestation
+// service root can verify it.
+type Quote struct {
+	Report    Report
+	Cert      PlatformCert
+	Signature []byte
+}
+
+// NewQuote produces a quote over up to ReportDataSize bytes of data. This is
+// the message a Glimmer presents to prove "I am the vetted Glimmer code".
+func (env *Env) NewQuote(data []byte) (Quote, error) {
+	r, err := env.NewReport(data)
+	if err != nil {
+		return Quote{}, err
+	}
+	p := env.enclave.platform
+	sig, err := p.attestKey.Sign(r.signedBytes())
+	if err != nil {
+		return Quote{}, fmt.Errorf("tee: quote signing: %w", err)
+	}
+	return Quote{Report: r, Cert: p.cert, Signature: sig}, nil
+}
+
+// Quote verification errors.
+var (
+	ErrQuoteCert        = errors.New("tee: quote platform certificate invalid")
+	ErrQuoteSignature   = errors.New("tee: quote signature invalid")
+	ErrQuoteMeasurement = errors.New("tee: quote measurement not in allowlist")
+	ErrQuoteRevoked     = errors.New("tee: quote platform revoked")
+	ErrQuotePlatform    = errors.New("tee: quote certificate does not match report platform")
+)
+
+// QuoteVerifier checks quotes against the attestation service root and an
+// optional measurement allowlist — the paper's "published hash of the
+// vetted Glimmer".
+type QuoteVerifier struct {
+	// Root is the attestation service's verification key. Required.
+	Root *xcrypto.VerifyKey
+	// Allowed, when non-empty, is the set of acceptable measurements.
+	Allowed []Measurement
+	// Revoked, when non-nil, consults a revocation oracle for the platform.
+	Revoked func(PlatformID) bool
+}
+
+// Allow appends a measurement to the allowlist.
+func (v *QuoteVerifier) Allow(m Measurement) { v.Allowed = append(v.Allowed, m) }
+
+// Verify checks the full chain: certificate under the root, report
+// signature under the certified key, platform consistency, revocation, and
+// measurement allowlisting. On success the quote's report contents can be
+// trusted.
+func (v *QuoteVerifier) Verify(q Quote) error {
+	if v.Root == nil {
+		return errors.New("tee: QuoteVerifier has no root key")
+	}
+	if !v.Root.Verify(q.Cert.signedBytes(), q.Cert.Signature) {
+		return ErrQuoteCert
+	}
+	if q.Cert.PlatformID != q.Report.Platform {
+		return ErrQuotePlatform
+	}
+	if v.Revoked != nil && v.Revoked(q.Cert.PlatformID) {
+		return ErrQuoteRevoked
+	}
+	attestKey, err := xcrypto.ParseVerifyKey(q.Cert.AttestKey)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrQuoteCert, err)
+	}
+	if !attestKey.Verify(q.Report.signedBytes(), q.Signature) {
+		return ErrQuoteSignature
+	}
+	if len(v.Allowed) > 0 {
+		ok := false
+		for _, m := range v.Allowed {
+			if m == q.Report.Measurement {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("%w: %v", ErrQuoteMeasurement, q.Report.Measurement)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package tee
+
+import (
+	"errors"
+	"fmt"
+
+	"glimmers/internal/xcrypto"
+)
+
+// SealPolicy selects which enclave identity a sealed blob is bound to.
+type SealPolicy byte
+
+const (
+	// SealToMeasurement binds sealed data to the exact enclave code
+	// (MRENCLAVE policy): only an enclave with the same measurement on the
+	// same platform can unseal. This is what Glimmers use for service
+	// signing keys, so a modified Glimmer cannot recover them.
+	SealToMeasurement SealPolicy = iota + 1
+	// SealToSigner binds sealed data to the binary's signing authority
+	// (MRSIGNER policy): any enclave from the same signer on the same
+	// platform can unseal, enabling upgrades across versions.
+	SealToSigner
+)
+
+// ErrSealPolicy reports an unusable policy, e.g. signer sealing from an
+// unsigned binary.
+var ErrSealPolicy = errors.New("tee: unusable seal policy")
+
+func (env *Env) sealBinding(policy SealPolicy) ([]byte, error) {
+	switch policy {
+	case SealToMeasurement:
+		m := env.enclave.measurement
+		return append([]byte{byte(policy)}, m[:]...), nil
+	case SealToSigner:
+		s := env.enclave.signerID
+		if s == (SignerID{}) {
+			return nil, fmt.Errorf("%w: binary is unsigned", ErrSealPolicy)
+		}
+		return append([]byte{byte(policy)}, s[:]...), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown policy %d", ErrSealPolicy, policy)
+	}
+}
+
+// Seal encrypts plaintext so only enclaves matching the policy on this
+// platform can recover it. The associated data is authenticated but not
+// encrypted.
+func (env *Env) Seal(plaintext, associated []byte, policy SealPolicy) ([]byte, error) {
+	binding, err := env.sealBinding(policy)
+	if err != nil {
+		return nil, err
+	}
+	key := env.enclave.platform.sealKey(binding)
+	return xcrypto.Seal(key, plaintext, associated)
+}
+
+// Unseal reverses Seal for an enclave matching the original policy binding.
+func (env *Env) Unseal(ciphertext, associated []byte, policy SealPolicy) ([]byte, error) {
+	binding, err := env.sealBinding(policy)
+	if err != nil {
+		return nil, err
+	}
+	key := env.enclave.platform.sealKey(binding)
+	return xcrypto.Open(key, ciphertext, associated)
+}

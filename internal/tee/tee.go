@@ -1,0 +1,135 @@
+// Package tee simulates the trusted-execution-environment contracts the
+// Glimmer design needs from Intel SGX: isolated enclaves with code
+// measurement, ECALL/OCALL transitions, sealed storage, local reports, and
+// remotely verifiable quotes certified by an attestation service.
+//
+// The paper (Lie & Maniatis, HotOS 2017) realizes Glimmers on SGX client
+// hardware. That hardware is unavailable here, so this package enforces the
+// same contracts in software:
+//
+//   - Isolation: enclave state lives behind unexported fields and is only
+//     reachable through registered ECALL handlers. Host code holds an
+//     *Enclave but cannot touch its memory.
+//   - Measurement: every enclave binary hashes to a Measurement covering its
+//     name, version, code identity, and ECALL table. Change any of these and
+//     the measurement — and hence sealing keys and attestation — changes.
+//   - Sealing: data sealed by an enclave can only be unsealed by an enclave
+//     with the same measurement (or same signer, under the signer policy) on
+//     the same platform.
+//   - Attestation: a platform attestation key, certified by a simulated
+//     attestation service, signs quotes binding report data to an enclave
+//     measurement. Verifiers trust only the attestation service root.
+//   - Resource limits: enclaves have an EPC-style private memory budget, and
+//     every ECALL/OCALL transition is counted (optionally charged a
+//     synthetic latency) so experiments can measure the cost of enclave
+//     decomposition, as §3 of the paper discusses.
+package tee
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"glimmers/internal/xcrypto"
+)
+
+// Measurement identifies enclave code, the analogue of SGX's MRENCLAVE.
+type Measurement [32]byte
+
+// String renders the measurement as abbreviated hex, as a vetting registry
+// would publish it.
+func (m Measurement) String() string { return hex.EncodeToString(m[:8]) }
+
+// SignerID identifies the key that signed an enclave binary, the analogue
+// of SGX's MRSIGNER. The zero SignerID means "unsigned".
+type SignerID [32]byte
+
+// Handler is the body of one ECALL: it runs inside the enclave with access
+// to the private environment.
+type Handler func(env *Env, input []byte) ([]byte, error)
+
+// Binary is enclave code before it is loaded: a manifest plus the ECALL
+// table. The measurement covers all of it, so a Binary whose code identity
+// or entry points differ measures differently.
+type Binary struct {
+	name    string
+	version string
+	code    []byte
+	signer  *xcrypto.VerifyKey
+	ecalls  map[string]Handler
+	// init, if set, runs inside the enclave once at load time.
+	init Handler
+}
+
+// NewBinary starts a Binary. code is the canonical identity of the enclave's
+// logic (for a real enclave, the text segment; here, a stable digest chosen
+// by the author — tamper with it and the measurement changes).
+func NewBinary(name, version string, code []byte) *Binary {
+	return &Binary{
+		name:    name,
+		version: version,
+		code:    append([]byte(nil), code...),
+		ecalls:  make(map[string]Handler),
+	}
+}
+
+// SetSigner attaches the signing identity (MRSIGNER analogue) to the binary.
+func (b *Binary) SetSigner(signer *xcrypto.VerifyKey) *Binary {
+	b.signer = signer
+	return b
+}
+
+// OnInit registers a handler that runs inside the enclave when it is loaded,
+// before any ECALL is accepted. Its input is the load-time configuration.
+func (b *Binary) OnInit(h Handler) *Binary {
+	b.init = h
+	return b
+}
+
+// Define registers an ECALL entry point. Defining the same name twice
+// panics: a binary with an ambiguous ECALL table is a build error.
+func (b *Binary) Define(name string, h Handler) *Binary {
+	if _, dup := b.ecalls[name]; dup {
+		panic(fmt.Sprintf("tee: duplicate ECALL %q in binary %q", name, b.name))
+	}
+	b.ecalls[name] = h
+	return b
+}
+
+// Measurement computes the binary's measurement. It is stable across loads
+// and sensitive to name, version, code identity, and the ECALL table.
+func (b *Binary) Measurement() Measurement {
+	h := sha256.New()
+	h.Write([]byte("glimmers/tee/measurement/v1\x00"))
+	writeLenPrefixed(h, []byte(b.name))
+	writeLenPrefixed(h, []byte(b.version))
+	writeLenPrefixed(h, b.code)
+	names := make([]string, 0, len(b.ecalls))
+	for name := range b.ecalls {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		writeLenPrefixed(h, []byte(name))
+	}
+	var m Measurement
+	h.Sum(m[:0])
+	return m
+}
+
+// SignerID returns the binary's signer identity, or the zero id if unsigned.
+func (b *Binary) SignerID() SignerID {
+	if b.signer == nil {
+		return SignerID{}
+	}
+	return SignerID(b.signer.Fingerprint())
+}
+
+func writeLenPrefixed(h interface{ Write([]byte) (int, error) }, data []byte) {
+	var lenBuf [8]byte
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(data)))
+	h.Write(lenBuf[:])
+	h.Write(data)
+}

@@ -1,0 +1,228 @@
+// Package wire provides the deterministic binary message encoding shared by
+// every protocol in the system: Glimmer↔service provisioning, attested
+// handshakes, Glimmer-as-a-service framing, and the public contribution
+// format the runtime auditor checks.
+//
+// The format is deliberately trivial — length-prefixed fields appended in a
+// fixed order — because §4.1 of the paper requires the message format
+// between a Glimmer and its service to be public and auditable: an auditor
+// must be able to decide, from bytes alone, that a message is well formed
+// and carries no more information than the format allows.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Limits guard against malformed length prefixes when decoding untrusted
+// bytes.
+const (
+	// MaxFieldLen caps one field (64 MiB).
+	MaxFieldLen = 64 << 20
+)
+
+// ErrTruncated is returned when a reader runs past the end of the message.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// ErrTrailing is returned by Done when bytes remain after the last field —
+// a message smuggling extra content, which the auditor treats as malformed.
+var ErrTrailing = errors.New("wire: trailing bytes after message")
+
+// Writer accumulates an encoded message.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns an empty writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// Bytes appends a length-prefixed byte field.
+func (w *Writer) Bytes(b []byte) *Writer {
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(b)))
+	w.buf = append(w.buf, lenBuf[:]...)
+	w.buf = append(w.buf, b...)
+	return w
+}
+
+// String appends a length-prefixed string field.
+func (w *Writer) String(s string) *Writer { return w.Bytes([]byte(s)) }
+
+// Uint64 appends a fixed-width 64-bit field.
+func (w *Writer) Uint64(v uint64) *Writer {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	w.buf = append(w.buf, b[:]...)
+	return w
+}
+
+// Uint32 appends a fixed-width 32-bit field.
+func (w *Writer) Uint32(v uint32) *Writer {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	w.buf = append(w.buf, b[:]...)
+	return w
+}
+
+// Byte appends a single byte.
+func (w *Writer) Byte(v byte) *Writer {
+	w.buf = append(w.buf, v)
+	return w
+}
+
+// Bool appends a boolean as one byte (0 or 1).
+func (w *Writer) Bool(v bool) *Writer {
+	if v {
+		return w.Byte(1)
+	}
+	return w.Byte(0)
+}
+
+// Uint64s appends a counted sequence of 64-bit values.
+func (w *Writer) Uint64s(vs []uint64) *Writer {
+	w.Uint32(uint32(len(vs)))
+	for _, v := range vs {
+		w.Uint64(v)
+	}
+	return w
+}
+
+// Finish returns the encoded message.
+func (w *Writer) Finish() []byte { return w.buf }
+
+// Reader decodes a message written by Writer. Errors are sticky: after the
+// first failure all subsequent reads return zero values and Err reports the
+// failure. This lets decoding code read a whole struct and check once.
+type Reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// NewReader wraps an encoded message.
+func NewReader(data []byte) *Reader { return &Reader{data: data} }
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.data) {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	out := r.data[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+// Bytes reads a length-prefixed byte field. The returned slice is a copy.
+func (r *Reader) Bytes() []byte {
+	lenBytes := r.take(4)
+	if r.err != nil {
+		return nil
+	}
+	n := binary.BigEndian.Uint32(lenBytes)
+	if n > MaxFieldLen {
+		r.fail(fmt.Errorf("wire: field length %d exceeds limit", n))
+		return nil
+	}
+	raw := r.take(int(n))
+	if r.err != nil {
+		return nil
+	}
+	return append([]byte(nil), raw...)
+}
+
+// String reads a length-prefixed string field.
+func (r *Reader) String() string { return string(r.Bytes()) }
+
+// Uint64 reads a fixed-width 64-bit field.
+func (r *Reader) Uint64() uint64 {
+	b := r.take(8)
+	if r.err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// Uint32 reads a fixed-width 32-bit field.
+func (r *Reader) Uint32() uint32 {
+	b := r.take(4)
+	if r.err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// Byte reads a single byte.
+func (r *Reader) Byte() byte {
+	b := r.take(1)
+	if r.err != nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a one-byte boolean; any value other than 0 or 1 is an error
+// (a covert channel in a boolean field, which the auditor must reject).
+func (r *Reader) Bool() bool {
+	switch r.Byte() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail(errors.New("wire: boolean field with non-canonical value"))
+		return false
+	}
+}
+
+// Uint64s reads a counted sequence of 64-bit values.
+func (r *Reader) Uint64s() []uint64 {
+	n := r.Uint32()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(n)*8 > uint64(len(r.data)-r.off) {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.Uint64()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+// Done verifies the message was fully consumed and returns any decode error.
+func (r *Reader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.data) {
+		return fmt.Errorf("%w: %d bytes", ErrTrailing, len(r.data)-r.off)
+	}
+	return nil
+}
+
+// Remaining reports how many undecoded bytes are left.
+func (r *Reader) Remaining() int {
+	if r.err != nil {
+		return 0
+	}
+	return len(r.data) - r.off
+}

@@ -1,0 +1,59 @@
+package xcrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"errors"
+	"fmt"
+)
+
+// ErrDecrypt is returned when an AEAD open fails: wrong key, tampered
+// ciphertext, or mismatched associated data. Callers must treat all three
+// identically (the distinction is deliberately not observable).
+var ErrDecrypt = errors.New("xcrypto: authenticated decryption failed")
+
+// Seal encrypts plaintext under a 32-byte key with AES-256-GCM, binding the
+// associated data. A fresh random nonce is generated and prepended to the
+// returned ciphertext.
+func Seal(key [32]byte, plaintext, associated []byte) ([]byte, error) {
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize(), aead.NonceSize()+len(plaintext)+aead.Overhead())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("xcrypto: nonce generation: %w", err)
+	}
+	return aead.Seal(nonce, nonce, plaintext, associated), nil
+}
+
+// Open decrypts a ciphertext produced by Seal under the same key and
+// associated data.
+func Open(key [32]byte, ciphertext, associated []byte) ([]byte, error) {
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(ciphertext) < aead.NonceSize() {
+		return nil, ErrDecrypt
+	}
+	nonce, sealed := ciphertext[:aead.NonceSize()], ciphertext[aead.NonceSize():]
+	plaintext, err := aead.Open(nil, nonce, sealed, associated)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return plaintext, nil
+}
+
+func newGCM(key [32]byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("xcrypto: cipher init: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("xcrypto: GCM init: %w", err)
+	}
+	return aead, nil
+}

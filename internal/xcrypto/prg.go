@@ -1,0 +1,102 @@
+package xcrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"math"
+)
+
+// PRG is a deterministic pseudo-random generator: AES-128-CTR keyed by a
+// seed. Two parties that share a seed derive identical byte streams, which
+// is exactly what pairwise blinding masks require (each pair of clients
+// expands a shared ECDH secret into a mask vector). The stream is also used
+// to drive reproducible experiment randomness.
+type PRG struct {
+	stream cipher.Stream
+	// buf is a scratch block reused across calls to avoid per-call allocs.
+	buf [8]byte
+}
+
+// NewPRG returns a PRG seeded by seed. The seed is stretched with HKDF so
+// seeds of any length are acceptable; identical seeds yield identical
+// streams.
+func NewPRG(seed []byte) *PRG {
+	material := HKDF(seed, nil, []byte("glimmers/prg/v1"), 32)
+	block, err := aes.NewCipher(material[:16])
+	if err != nil {
+		// aes.NewCipher only fails on bad key sizes; 16 is always valid.
+		panic("xcrypto: impossible AES key failure: " + err.Error())
+	}
+	return &PRG{stream: cipher.NewCTR(block, material[16:32])}
+}
+
+// Read fills p with pseudo-random bytes. It never fails.
+func (g *PRG) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0
+	}
+	g.stream.XORKeyStream(p, p)
+	return len(p), nil
+}
+
+// Uint64 returns the next 64-bit value from the stream.
+func (g *PRG) Uint64() uint64 {
+	for i := range g.buf {
+		g.buf[i] = 0
+	}
+	g.stream.XORKeyStream(g.buf[:], g.buf[:])
+	return binary.LittleEndian.Uint64(g.buf[:])
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+func (g *PRG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xcrypto: Uint64n with n == 0")
+	}
+	// Rejection sampling to avoid modulo bias.
+	limit := ^uint64(0) - ^uint64(0)%n
+	for {
+		v := g.Uint64()
+		if v < limit {
+			return v % n
+		}
+	}
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (g *PRG) Intn(n int) int {
+	if n <= 0 {
+		panic("xcrypto: Intn with n <= 0")
+	}
+	return int(g.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (g *PRG) Float64() float64 {
+	return float64(g.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a normally distributed float64 with mean 0 and
+// standard deviation 1, using the polar Box-Muller transform.
+func (g *PRG) NormFloat64() float64 {
+	for {
+		u := 2*g.Float64() - 1
+		v := 2*g.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (g *PRG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := g.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}

@@ -1,0 +1,407 @@
+package xcrypto
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestHKDFRFC5869Case1 checks the first test vector from RFC 5869 Appendix A.
+func TestHKDFRFC5869Case1(t *testing.T) {
+	ikm, _ := hex.DecodeString("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b")
+	salt, _ := hex.DecodeString("000102030405060708090a0b0c")
+	info, _ := hex.DecodeString("f0f1f2f3f4f5f6f7f8f9")
+	wantPRK, _ := hex.DecodeString("077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5")
+	wantOKM, _ := hex.DecodeString("3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865")
+
+	prk := HKDFExtract(salt, ikm)
+	if !bytes.Equal(prk, wantPRK) {
+		t.Errorf("PRK = %x, want %x", prk, wantPRK)
+	}
+	okm := HKDFExpand(prk, info, 42)
+	if !bytes.Equal(okm, wantOKM) {
+		t.Errorf("OKM = %x, want %x", okm, wantOKM)
+	}
+}
+
+// TestHKDFRFC5869Case3 checks the zero-salt vector from RFC 5869 Appendix A.
+func TestHKDFRFC5869Case3(t *testing.T) {
+	ikm, _ := hex.DecodeString("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b")
+	wantOKM, _ := hex.DecodeString("8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8")
+	okm := HKDF(ikm, nil, nil, 42)
+	if !bytes.Equal(okm, wantOKM) {
+		t.Errorf("OKM = %x, want %x", okm, wantOKM)
+	}
+}
+
+func TestHKDFExpandLengthLimit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for oversized expand")
+		}
+	}()
+	HKDFExpand(make([]byte, 32), nil, 255*32+1)
+}
+
+func TestDeriveKey32ContextSeparation(t *testing.T) {
+	secret := []byte("platform secret")
+	a := DeriveKey32(secret, "context-a")
+	b := DeriveKey32(secret, "context-b")
+	if a == b {
+		t.Fatal("different contexts produced identical keys")
+	}
+	a2 := DeriveKey32(secret, "context-a")
+	if a != a2 {
+		t.Fatal("derivation is not deterministic")
+	}
+}
+
+func TestPRGDeterminism(t *testing.T) {
+	a, b := NewPRG([]byte("seed")), NewPRG([]byte("seed"))
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("stream diverged at %d: %d != %d", i, av, bv)
+		}
+	}
+	c := NewPRG([]byte("other seed"))
+	same := 0
+	a = NewPRG([]byte("seed"))
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("distinct seeds produced %d/100 identical outputs", same)
+	}
+}
+
+func TestPRGReadFillsBuffer(t *testing.T) {
+	g := NewPRG([]byte("read"))
+	buf := make([]byte, 257)
+	n, err := g.Read(buf)
+	if err != nil || n != len(buf) {
+		t.Fatalf("Read = (%d, %v), want (%d, nil)", n, err, len(buf))
+	}
+	zero := 0
+	for _, b := range buf {
+		if b == 0 {
+			zero++
+		}
+	}
+	if zero > 16 {
+		t.Fatalf("suspiciously many zero bytes: %d/257", zero)
+	}
+}
+
+func TestPRGUint64nBounds(t *testing.T) {
+	g := NewPRG([]byte("bounds"))
+	for i := 0; i < 10000; i++ {
+		if v := g.Uint64n(7); v >= 7 {
+			t.Fatalf("Uint64n(7) = %d", v)
+		}
+	}
+}
+
+func TestPRGUint64nUniform(t *testing.T) {
+	g := NewPRG([]byte("uniform"))
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[g.Uint64n(n)]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.1 {
+			t.Errorf("value %d drawn %d times, want ~%.0f", v, c, want)
+		}
+	}
+}
+
+func TestPRGFloat64Range(t *testing.T) {
+	g := NewPRG([]byte("floats"))
+	sum := 0.0
+	for i := 0; i < 10000; i++ {
+		f := g.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / 10000; mean < 0.45 || mean > 0.55 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestPRGNormFloat64Moments(t *testing.T) {
+	g := NewPRG([]byte("normal"))
+	const n = 50000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := g.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Errorf("variance = %v, want ~1", variance)
+	}
+}
+
+func TestPRGPerm(t *testing.T) {
+	g := NewPRG([]byte("perm"))
+	p := g.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPRGPanicsOnZeroN(t *testing.T) {
+	g := NewPRG([]byte("panic"))
+	for _, fn := range []func(){
+		func() { g.Uint64n(0) },
+		func() { g.Intn(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	key := DeriveKey32([]byte("k"), "test")
+	ct, err := Seal(key, []byte("hello glimmer"), []byte("ad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := Open(key, ct, []byte("ad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pt) != "hello glimmer" {
+		t.Fatalf("plaintext = %q", pt)
+	}
+}
+
+func TestOpenRejectsTampering(t *testing.T) {
+	key := DeriveKey32([]byte("k"), "test")
+	ct, err := Seal(key, []byte("payload"), []byte("ad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func() ([]byte, []byte){
+		"flipped ciphertext bit": func() ([]byte, []byte) {
+			bad := append([]byte(nil), ct...)
+			bad[len(bad)-1] ^= 1
+			return bad, []byte("ad")
+		},
+		"wrong associated data": func() ([]byte, []byte) { return ct, []byte("other") },
+		"truncated":             func() ([]byte, []byte) { return ct[:4], []byte("ad") },
+		"empty":                 func() ([]byte, []byte) { return nil, []byte("ad") },
+	}
+	for name, mk := range cases {
+		c, ad := mk()
+		if _, err := Open(key, c, ad); err != ErrDecrypt {
+			t.Errorf("%s: err = %v, want ErrDecrypt", name, err)
+		}
+	}
+	wrongKey := DeriveKey32([]byte("k2"), "test")
+	if _, err := Open(wrongKey, ct, []byte("ad")); err != ErrDecrypt {
+		t.Errorf("wrong key: err = %v, want ErrDecrypt", err)
+	}
+}
+
+func TestSealProducesFreshNonces(t *testing.T) {
+	key := DeriveKey32([]byte("k"), "test")
+	a, err := Seal(key, []byte("msg"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Seal(key, []byte("msg"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Fatal("two seals of the same message are identical (nonce reuse)")
+	}
+}
+
+func TestSigningRoundTrip(t *testing.T) {
+	key, err := NewSigningKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := key.Sign([]byte("contribution"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !key.Public().Verify([]byte("contribution"), sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if key.Public().Verify([]byte("contribution!"), sig) {
+		t.Fatal("signature verified for altered message")
+	}
+	other, err := NewSigningKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Public().Verify([]byte("contribution"), sig) {
+		t.Fatal("signature verified under wrong key")
+	}
+}
+
+func TestSigningKeyMarshalRoundTrip(t *testing.T) {
+	key, err := NewSigningKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	der, err := key.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ParseSigningKey(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := restored.Sign([]byte("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !key.Public().Verify([]byte("m"), sig) {
+		t.Fatal("restored key signature rejected by original public key")
+	}
+}
+
+func TestVerifyKeyMarshalRoundTrip(t *testing.T) {
+	key, err := NewSigningKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	der, err := key.Public().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := ParseVerifyKey(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := key.Sign([]byte("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pub.Verify([]byte("m"), sig) {
+		t.Fatal("parsed public key rejected valid signature")
+	}
+	if pub.Fingerprint() != key.Public().Fingerprint() {
+		t.Fatal("fingerprint changed across marshal round trip")
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := ParseSigningKey([]byte("not DER")); err == nil {
+		t.Error("ParseSigningKey accepted garbage")
+	}
+	if _, err := ParseVerifyKey([]byte("not DER")); err == nil {
+		t.Error("ParseVerifyKey accepted garbage")
+	}
+}
+
+func TestDHAgreement(t *testing.T) {
+	alice, err := NewDHKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := NewDHKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := alice.Shared(bob.PublicBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := bob.Shared(alice.PublicBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, ba) {
+		t.Fatal("DH shared secrets disagree")
+	}
+	eve, err := NewDHKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ae, err := alice.Shared(eve.PublicBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ab, ae) {
+		t.Fatal("different peers produced identical secrets")
+	}
+}
+
+func TestDHRejectsBadPeerValue(t *testing.T) {
+	alice, err := NewDHKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.Shared([]byte{1, 2, 3}); err == nil {
+		t.Fatal("accepted malformed peer public value")
+	}
+}
+
+// Property: Seal followed by Open is the identity for arbitrary payloads and
+// associated data.
+func TestQuickSealOpenIdentity(t *testing.T) {
+	key := DeriveKey32([]byte("quick"), "test")
+	f := func(payload, ad []byte) bool {
+		ct, err := Seal(key, payload, ad)
+		if err != nil {
+			return false
+		}
+		pt, err := Open(key, ct, ad)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(pt, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: HKDF output depends on every one of secret, salt, and info.
+func TestQuickHKDFSensitivity(t *testing.T) {
+	f := func(secret, salt, info []byte, flip uint8) bool {
+		base := HKDF(secret, salt, info, 32)
+		mutate := func(b []byte) []byte {
+			m := append([]byte(nil), b...)
+			m = append(m, flip|1)
+			return m
+		}
+		if bytes.Equal(base, HKDF(mutate(secret), salt, info, 32)) {
+			return false
+		}
+		if bytes.Equal(base, HKDF(secret, mutate(salt), info, 32)) {
+			return false
+		}
+		return !bytes.Equal(base, HKDF(secret, salt, mutate(info), 32))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
