@@ -1,16 +1,17 @@
 package glimmers
 
-// The benchmark harness: one benchmark per experiment in DESIGN.md's index
+// The benchmark harness: one benchmark per experiment in README.md's index
 // (the paper's figures and claims), plus micro-benchmarks for the
 // mechanisms underneath them. Run with:
 //
 //	go test -bench=. -benchmem
 //
-// Key reported metrics (b.ReportMetric) mirror the EXPERIMENTS.md tables so
+// Key reported metrics (b.ReportMetric) mirror the experiment tables so
 // the shape of the paper's argument is visible straight from the bench
 // output.
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -18,7 +19,9 @@ import (
 	"glimmers/internal/blind"
 	"glimmers/internal/experiments"
 	"glimmers/internal/fixed"
+	"glimmers/internal/glimmer"
 	"glimmers/internal/predicate"
+	"glimmers/internal/service"
 	"glimmers/internal/tee"
 	"glimmers/internal/xcrypto"
 )
@@ -438,6 +441,73 @@ func BenchmarkAggregatorAdd(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkAggregatorIngest measures the server-side ingest pipeline —
+// decode, ed25519 verify, dedup, accumulate — over a cohort of signed
+// contributions at keyboard-model scale, comparing the serial baseline
+// (one worker, one shard) against the concurrent sharded pipeline. The
+// contributions are fabricated and signed directly so the benchmark
+// isolates the service layer from Glimmer execution.
+func BenchmarkAggregatorIngest(b *testing.B) {
+	const (
+		dim     = 256
+		clients = 512
+		round   = uint64(7)
+	)
+	key, err := xcrypto.NewSigningKey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	raws := make([][]byte, clients)
+	for i := range raws {
+		sc := glimmer.SignedContribution{
+			ServiceName: "bench.example",
+			Round:       round,
+			Measurement: tee.Measurement{1},
+			Blinded:     make(Vector, dim),
+			Confidence:  1,
+		}
+		for j := range sc.Blinded {
+			// Distinct vectors per client so no two encodings collide in
+			// the dedup set.
+			sc.Blinded[j] = Ring(uint64(i)*1000003 + uint64(j))
+		}
+		sig, err := key.Sign(sc.SignedBytes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc.Signature = sig
+		raws[i] = glimmer.EncodeSignedContribution(sc)
+	}
+	run := func(b *testing.B, workers, shards int) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			p := service.NewPipeline(service.PipelineConfig{
+				ServiceName: "bench.example",
+				Verify:      key.Public(),
+				Dim:         dim,
+				Round:       round,
+				Workers:     workers,
+				Shards:      shards,
+			})
+			for _, err := range p.AddBatch(raws) {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := p.Seal(); err != nil {
+				b.Fatal(err)
+			}
+			if p.Count() != clients {
+				b.Fatalf("count = %d, want %d", p.Count(), clients)
+			}
+			p.Close()
+		}
+		b.ReportMetric(float64(clients*b.N)/b.Elapsed().Seconds(), "contrib/s")
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, runtime.GOMAXPROCS(0), 0) })
 }
 
 // BenchmarkSeal measures enclave sealing of a 256-byte secret.

@@ -1,5 +1,5 @@
-// Command experiments regenerates every experiment in DESIGN.md's index
-// (E1–E12) and prints the tables recorded in EXPERIMENTS.md.
+// Command experiments regenerates every experiment in README.md's index
+// (E1–E12) and prints their tables.
 //
 // Usage:
 //

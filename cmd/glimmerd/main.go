@@ -8,9 +8,14 @@
 // In a real deployment the service and attestation root would live
 // elsewhere; the wire protocol (internal/gaas) is the same.
 //
+// The daemon also ingests: clients batch their signed contributions into
+// one submit-batch frame and the daemon routes them through a concurrent,
+// sharded aggregation pipeline (service.RoundManager), keeping overlapping
+// rounds open at once.
+//
 // Usage:
 //
-//	glimmerd -listen 127.0.0.1:7433 -dim 16
+//	glimmerd -listen 127.0.0.1:7433 -dim 16 -workers 8 -shards 32
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"runtime"
 
 	"glimmers/internal/gaas"
 	"glimmers/internal/glimmer"
@@ -30,6 +36,8 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7433", "address to listen on")
 	dim := flag.Int("dim", 16, "contribution dimensionality")
 	serviceName := flag.String("service", "demo.glimmers.example", "service name")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "verifier workers per aggregation round")
+	shards := flag.Int("shards", 0, "dedup/sum shards per round (0 = 2×workers)")
 	flag.Parse()
 
 	as, err := tee.NewAttestationService()
@@ -60,12 +68,29 @@ func main() {
 	})
 	svc.Vet(server.Measurement())
 
+	rounds := service.NewRoundManager(service.PipelineConfig{
+		ServiceName: *serviceName,
+		Verify:      svc.ContributionVerifyKey(),
+		Dim:         *dim,
+		Workers:     *workers,
+		Shards:      *shards,
+	})
+	// Unattended daemon: rounds march forward forever, so evict the
+	// least-filled round at the cap instead of wedging ingest, and refuse
+	// rounds far from the ones in flight (the round number is
+	// client-chosen).
+	rounds.EvictAtCap = true
+	rounds.RoundWindow = 16
+	rounds.Vet(server.Measurement())
+	server.SetIngest(rounds)
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
 	fmt.Printf("glimmerd: serving %q glimmers on %s\n", *serviceName, ln.Addr())
 	fmt.Printf("glimmerd: vetted measurement %s (clients must pin this)\n", server.Measurement())
+	fmt.Printf("glimmerd: ingest pipeline: %d verifier workers per round\n", *workers)
 	if err := server.Serve(ln); err != nil {
 		log.Fatalf("serve: %v", err)
 	}

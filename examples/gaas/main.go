@@ -45,6 +45,17 @@ func main() {
 		return tb.Service.Provision(dev, payload)
 	})
 	tb.Service.Vet(server.Measurement())
+
+	// The host is also the ingest front door: batches of signed
+	// contributions flow into the service's concurrent sharded pipeline.
+	rounds := glimmers.NewRoundManager(glimmers.PipelineConfig{
+		ServiceName: tb.Service.Name(),
+		Verify:      tb.Service.ContributionVerifyKey(),
+		Dim:         dim,
+	})
+	rounds.Vet(server.Measurement())
+	server.SetIngest(rounds)
+
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -70,6 +81,15 @@ func main() {
 	}
 	ok := tb.Service.ContributionVerifyKey().Verify(sc.SignedBytes(), sc.Signature)
 	fmt.Printf("thermostat: readings endorsed remotely, signature valid = %v\n", ok)
+
+	// The endorsed contribution goes back through the host in one batch
+	// frame and lands in the round's aggregation pipeline.
+	accepted, rejected, err := client.SubmitBatch([][]byte{glimmers.EncodeSignedContribution(sc)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("thermostat: batch submitted, accepted=%d rejected=%d; round 1 count = %d\n",
+		accepted, rejected, rounds.Round(1).Count())
 
 	// A compromised thermostat trying to report a 900-degree reading is
 	// refused by the remote Glimmer.

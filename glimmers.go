@@ -9,12 +9,12 @@
 // the internal packages and provides a Testbed that assembles a complete
 // deployment (attestation service, platform, cloud service, Glimmer
 // devices) in a few calls. See the examples/ directory for runnable
-// walkthroughs, DESIGN.md for the system inventory, and EXPERIMENTS.md for
-// the reproduced results.
+// walkthroughs and README.md for the system inventory and the experiment
+// index.
 //
 // The paper's SGX substrate is simulated in software (package tee): the
 // simulation enforces the same contracts — isolation, measurement,
-// attestation, sealing — that the design relies on. See DESIGN.md for the
+// attestation, sealing — that the design relies on. See README.md for the
 // substitution rationale.
 package glimmers
 
@@ -62,6 +62,13 @@ type (
 	Service = service.Service
 	// Aggregator collects signed blinded contributions for one round.
 	Aggregator = service.Aggregator
+	// Pipeline is the concurrent, sharded ingest path for one round, with
+	// an explicit open → sealed → closed lifecycle.
+	Pipeline = service.Pipeline
+	// PipelineConfig sizes a Pipeline (verifier workers, shards).
+	PipelineConfig = service.PipelineConfig
+	// RoundManager owns pipelines for concurrent aggregation rounds.
+	RoundManager = service.RoundManager
 	// BotGate consumes §4.1 verdicts.
 	BotGate = service.BotGate
 
@@ -102,6 +109,10 @@ var (
 	NewService = service.New
 	// NewAggregator starts contribution collection for a round.
 	NewAggregator = service.NewAggregator
+	// NewPipeline starts a concurrent sharded ingest pipeline for a round.
+	NewPipeline = service.NewPipeline
+	// NewRoundManager starts a manager for concurrent rounds.
+	NewRoundManager = service.NewRoundManager
 	// UnitRangeCheck builds the paper's canonical [0,1] validator.
 	UnitRangeCheck = predicate.UnitRangeCheck
 	// FromFloats encodes a real vector into the fixed-point ring.

@@ -1,0 +1,3 @@
+module glimmers
+
+go 1.24

@@ -1,8 +1,8 @@
 // Package experiments implements the reproduction harness: one runnable
-// experiment per figure or claim of the paper, as indexed in DESIGN.md.
-// Each experiment returns a typed result whose Table method prints the rows
-// EXPERIMENTS.md records; cmd/experiments regenerates them all and the root
-// bench_test.go wraps them as benchmarks.
+// experiment per figure or claim of the paper, as indexed in README.md.
+// Each experiment returns a typed result whose Table method prints its
+// rows; cmd/experiments regenerates them all and the root bench_test.go
+// wraps them as benchmarks.
 package experiments
 
 import (

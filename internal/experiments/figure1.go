@@ -23,7 +23,7 @@ type Figure1Config struct {
 	AttackWeight float64
 }
 
-// DefaultFigure1 is the configuration EXPERIMENTS.md records.
+// DefaultFigure1 is the canonical configuration the benchmarks record.
 func DefaultFigure1() Figure1Config {
 	return Figure1Config{
 		Seed:         []byte("glimmers-figure1"),

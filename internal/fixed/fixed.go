@@ -116,6 +116,18 @@ func (v Vector) SubInPlace(other Vector) {
 	}
 }
 
+// DivScalarInPlace divides every element by n using truncating signed
+// division, the averaging step of FedAvg. It panics on n == 0: dividing an
+// aggregate by a zero cohort is a programming error upstream.
+func (v Vector) DivScalarInPlace(n int64) {
+	if n == 0 {
+		panic("fixed: division by zero cohort size")
+	}
+	for i := range v {
+		v[i] = Ring(int64(v[i]) / n)
+	}
+}
+
 // Sum returns the element-wise sum of vectors, all of which must share the
 // same length. Sum of no vectors is an error because the dimension is
 // unknown.
@@ -139,10 +151,7 @@ func Mean(vectors ...Vector) (Vector, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := int64(len(vectors))
-	for i := range sum {
-		sum[i] = Ring(int64(sum[i]) / n)
-	}
+	sum.DivScalarInPlace(int64(len(vectors)))
 	return sum, nil
 }
 

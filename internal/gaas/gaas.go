@@ -34,6 +34,7 @@ const (
 	cmdUserHello      = "user-hello"
 	cmdUserComplete   = "user-complete"
 	cmdUserContribute = "user-contribute"
+	cmdSubmitBatch    = "submit-batch"
 )
 
 // Frame I/O: u32 big-endian length prefix, then a wire message of
@@ -74,6 +75,13 @@ func readFrame(r io.Reader) (string, []byte, error) {
 	return tag, body, nil
 }
 
+// Ingestor accepts batches of encoded signed contributions and reports
+// how many were accepted, with one error slot per input.
+// service.RoundManager satisfies it.
+type Ingestor interface {
+	IngestBatch(raws [][]byte) (accepted int, errs []error)
+}
+
 // Server hosts Glimmer enclaves for remote clients: one freshly loaded,
 // freshly provisioned enclave per connection, so client sessions cannot
 // interfere.
@@ -83,12 +91,22 @@ type Server struct {
 	// provision readies a freshly loaded device (typically by running the
 	// service's provisioning protocol against it).
 	provision func(*glimmer.Device) error
+	// ingest, when non-nil, accepts submit-batch frames: signed, blinded
+	// contributions forwarded straight to the service's aggregation
+	// pipeline so clients need one round trip for a whole cohort. The
+	// contributions are public by construction (signed and blinded), so
+	// they travel outside the per-user attested session.
+	ingest Ingestor
 }
 
 // NewServer creates a Glimmer host.
 func NewServer(platform *tee.Platform, cfg glimmer.Config, provision func(*glimmer.Device) error) *Server {
 	return &Server{platform: platform, cfg: cfg, provision: provision}
 }
+
+// SetIngest enables the submit-batch command, forwarding batches to ing.
+// Must be called before Serve.
+func (s *Server) SetIngest(ing Ingestor) { s.ingest = ing }
 
 // Measurement returns the measurement clients must pin.
 func (s *Server) Measurement() tee.Measurement {
@@ -136,6 +154,8 @@ func (s *Server) handleConn(conn net.Conn) {
 			err = dev.UserComplete(body)
 		case cmdUserContribute:
 			out, err = dev.UserContribute(body)
+		case cmdSubmitBatch:
+			out, err = s.handleSubmitBatch(body)
 		default:
 			err = fmt.Errorf("unknown command %q", cmd)
 		}
@@ -151,6 +171,25 @@ func (s *Server) handleConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// handleSubmitBatch decodes a batch frame, hands it to the ingest
+// pipeline, and encodes the accepted/rejected tallies.
+func (s *Server) handleSubmitBatch(body []byte) ([]byte, error) {
+	if s.ingest == nil {
+		return nil, errors.New("server does not accept contribution batches")
+	}
+	items, err := wire.DecodeBatch(body)
+	if err != nil {
+		return nil, err
+	}
+	// Per-item errors stay server-side: the reply is tallies only, so the
+	// frame stays O(1) regardless of batch size.
+	accepted, _ := s.ingest.IngestBatch(items)
+	return wire.NewWriter().
+		Uint32(uint32(accepted)).
+		Uint32(uint32(len(items) - accepted)).
+		Finish(), nil
 }
 
 // Client is an IoT device using a remote Glimmer. It has no TEE of its
@@ -244,6 +283,40 @@ func (c *Client) Contribute(round uint64, contribution fixed.Vector, private []i
 		return glimmer.DecodeSignedContribution(reply[len("accepted:"):])
 	}
 	return glimmer.SignedContribution{}, fmt.Errorf("%w: malformed reply", ErrRemote)
+}
+
+// ErrBatchTooLarge is returned by SubmitBatch when the encoded batch
+// would exceed the protocol's frame limit; split the batch and retry.
+var ErrBatchTooLarge = errors.New("gaas: batch exceeds frame limit")
+
+// SubmitBatch forwards signed contributions to the host's aggregation
+// pipeline in one round trip and returns the server's accepted/rejected
+// tallies. The host must have ingest enabled (gaas servers co-located with
+// the service, like cmd/glimmerd).
+func (c *Client) SubmitBatch(raws [][]byte) (accepted, rejected int, err error) {
+	// Check the protocol limits client-side: the server rejects an
+	// oversized frame by dropping the connection (losing the session with
+	// only an opaque I/O error) and an over-count batch with a generic
+	// remote error; both cases should be the distinguishable "split and
+	// retry" error.
+	if len(raws) > wire.MaxBatchItems {
+		return 0, 0, fmt.Errorf("%w: %d items", ErrBatchTooLarge, len(raws))
+	}
+	body := wire.EncodeBatch(raws)
+	if len(body) > MaxFrame-64 {
+		return 0, 0, fmt.Errorf("%w: %d bytes", ErrBatchTooLarge, len(body))
+	}
+	reply, err := c.roundTrip(cmdSubmitBatch, body)
+	if err != nil {
+		return 0, 0, err
+	}
+	r := wire.NewReader(reply)
+	accepted = int(r.Uint32())
+	rejected = int(r.Uint32())
+	if err := r.Done(); err != nil {
+		return 0, 0, fmt.Errorf("gaas: submit reply: %w", err)
+	}
+	return accepted, rejected, nil
 }
 
 // Close terminates the connection.

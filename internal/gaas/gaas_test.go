@@ -21,9 +21,14 @@ type world struct {
 	cfg      glimmer.Config
 	server   *Server
 	addr     string
+	// rounds is non-nil when the world was built with ingest enabled
+	// (wired before Serve, per SetIngest's contract).
+	rounds *service.RoundManager
 }
 
-func newWorld(t *testing.T) *world {
+func newWorld(t *testing.T) *world { return newWorldIngest(t, false) }
+
+func newWorldIngest(t *testing.T, withIngest bool) *world {
 	t.Helper()
 	as, err := tee.NewAttestationService()
 	if err != nil {
@@ -53,6 +58,18 @@ func newWorld(t *testing.T) *world {
 		}
 		return svc.Provision(dev, payload)
 	})
+	var rounds *service.RoundManager
+	if withIngest {
+		rounds = service.NewRoundManager(service.PipelineConfig{
+			ServiceName: svc.Name(),
+			Verify:      svc.ContributionVerifyKey(),
+			Dim:         dim,
+			Workers:     2,
+			Shards:      2,
+		})
+		rounds.Vet(server.Measurement())
+		server.SetIngest(rounds)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -61,7 +78,7 @@ func newWorld(t *testing.T) *world {
 	go func() { _ = server.Serve(ln) }()
 	return &world{
 		as: as, platform: platform, svc: svc, cfg: cfg,
-		server: server, addr: ln.Addr().String(),
+		server: server, addr: ln.Addr().String(), rounds: rounds,
 	}
 }
 
@@ -147,6 +164,57 @@ func TestConcurrentClients(t *testing.T) {
 		if err := <-errs; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestSubmitBatchIngest drives the full remote ingest loop: obtain signed
+// contributions from the hosted Glimmer, then push them back through the
+// daemon's sharded aggregation pipeline in one submit-batch frame.
+func TestSubmitBatchIngest(t *testing.T) {
+	w := newWorldIngest(t, true)
+	rounds := w.rounds
+
+	client, err := Dial(w.addr, w.verifier(), w.svc.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	var raws [][]byte
+	for _, val := range []float64{0.1, 0.4, 0.7} {
+		sc, err := client.Contribute(1, fixed.FromFloats([]float64{val, val, val}), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raws = append(raws, glimmer.EncodeSignedContribution(sc))
+	}
+	// A duplicate and garbage must be rejected server-side, not kill the
+	// batch.
+	raws = append(raws, raws[0], []byte("garbage"))
+
+	accepted, rejected, err := client.SubmitBatch(raws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted != 3 || rejected != 2 {
+		t.Fatalf("submit = (%d accepted, %d rejected), want (3, 2)", accepted, rejected)
+	}
+	if got := rounds.Round(1).Count(); got != 3 {
+		t.Fatalf("pipeline count = %d, want 3", got)
+	}
+}
+
+// TestSubmitBatchWithoutIngest confirms a host with no pipeline refuses
+// the command instead of dropping the connection.
+func TestSubmitBatchWithoutIngest(t *testing.T) {
+	w := newWorld(t)
+	client, err := Dial(w.addr, w.verifier(), w.svc.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, _, err := client.SubmitBatch([][]byte{[]byte("x")}); !errors.Is(err, ErrRemote) {
+		t.Fatalf("err = %v, want ErrRemote", err)
 	}
 }
 

@@ -192,6 +192,21 @@ func EncodeSignedContribution(sc SignedContribution) []byte {
 
 // DecodeSignedContribution reverses EncodeSignedContribution.
 func DecodeSignedContribution(data []byte) (SignedContribution, error) {
+	sc, _, err := DecodeSignedContributionBytes(data)
+	return sc, err
+}
+
+// signedContributionHeader is the domain-separation prefix SignedBytes
+// writes before the encoded fields.
+var signedContributionHeader = wire.NewWriter().String("glimmers/contribution/v1").Finish()
+
+// DecodeSignedContributionBytes decodes data and additionally returns the
+// exact byte string the signature covers. The encoded message and the
+// signed string share every field up to the signature, so the signed bytes
+// are recovered by slicing the input instead of re-encoding the decoded
+// struct — the aggregation hot path verifies thousands of contributions
+// per second and must not rebuild each one.
+func DecodeSignedContributionBytes(data []byte) (SignedContribution, []byte, error) {
 	r := wire.NewReader(data)
 	sc := SignedContribution{
 		ServiceName: r.String(),
@@ -201,7 +216,7 @@ func DecodeSignedContribution(data []byte) (SignedContribution, error) {
 	if len(m) == len(sc.Measurement) {
 		copy(sc.Measurement[:], m)
 	} else if r.Err() == nil {
-		return sc, fmt.Errorf("glimmer: measurement field is %d bytes", len(m))
+		return sc, nil, fmt.Errorf("glimmer: measurement field is %d bytes", len(m))
 	}
 	bits := r.Uint64s()
 	sc.Blinded = make(fixed.Vector, len(bits))
@@ -209,11 +224,30 @@ func DecodeSignedContribution(data []byte) (SignedContribution, error) {
 		sc.Blinded[i] = fixed.Ring(b)
 	}
 	sc.Confidence = int64(r.Uint64())
+	// Everything decoded so far is exactly what the signature covers, after
+	// the domain-separation header.
+	fieldsEnd := len(data) - r.Remaining()
 	sc.Signature = r.Bytes()
 	if err := r.Done(); err != nil {
-		return sc, fmt.Errorf("glimmer: signed contribution: %w", err)
+		return sc, nil, fmt.Errorf("glimmer: signed contribution: %w", err)
 	}
-	return sc, nil
+	signed := make([]byte, 0, len(signedContributionHeader)+fieldsEnd)
+	signed = append(signed, signedContributionHeader...)
+	signed = append(signed, data[:fieldsEnd]...)
+	return sc, signed, nil
+}
+
+// PeekContributionRound reads only the round number from an encoded
+// SignedContribution, without materializing the vector. Round routers use
+// it to pick a pipeline before paying for the full decode.
+func PeekContributionRound(data []byte) (uint64, error) {
+	r := wire.NewReader(data)
+	r.SkipBytes() // service name, validated by the pipeline after routing
+	round := r.Uint64()
+	if err := r.Err(); err != nil {
+		return 0, fmt.Errorf("glimmer: signed contribution: %w", err)
+	}
+	return round, nil
 }
 
 // DetectRequest is the host's input to the "detect" ECALL (§4.1).

@@ -89,6 +89,38 @@ func TestSignedContributionCodecTruncation(t *testing.T) {
 	}
 }
 
+// The decode fast path must return byte-for-byte what SignedBytes would
+// re-encode — that equality is what lets the aggregation pipeline verify
+// signatures without rebuilding each message.
+func TestDecodeSignedContributionBytesMatchesSignedBytes(t *testing.T) {
+	sc := glimmer.SignedContribution{
+		ServiceName: "svc",
+		Round:       42,
+		Measurement: tee.Measurement{7, 8, 9},
+		Blinded:     fixed.Vector{1, 2, 3, 1 << 60},
+		Confidence:  77,
+		Signature:   []byte("sig"),
+	}
+	raw := glimmer.EncodeSignedContribution(sc)
+	back, signed, err := glimmer.DecodeSignedContributionBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(signed, back.SignedBytes()) {
+		t.Fatal("fast-path signed bytes differ from SignedBytes re-encoding")
+	}
+	if back.ServiceName != sc.ServiceName || back.Round != sc.Round || back.Confidence != sc.Confidence {
+		t.Fatalf("decode mismatch: %+v", back)
+	}
+	round, err := glimmer.PeekContributionRound(raw)
+	if err != nil || round != sc.Round {
+		t.Fatalf("PeekContributionRound = (%d, %v), want %d", round, err, sc.Round)
+	}
+	if _, err := glimmer.PeekContributionRound([]byte("xx")); err == nil {
+		t.Fatal("peek of garbage succeeded")
+	}
+}
+
 func TestVerdictCodecRejectsBadHeader(t *testing.T) {
 	v := glimmer.Verdict{ServiceName: "svc", Challenge: []byte("c"), Human: true, Signature: []byte("s")}
 	raw := glimmer.EncodeVerdict(v)

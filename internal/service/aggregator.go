@@ -1,12 +1,9 @@
 package service
 
 import (
-	"crypto/sha256"
 	"errors"
-	"fmt"
 
 	"glimmers/internal/fixed"
-	"glimmers/internal/glimmer"
 	"glimmers/internal/tee"
 	"glimmers/internal/xcrypto"
 )
@@ -15,18 +12,17 @@ import (
 // recovers the exact aggregate once the cohort is complete (Figure 1c's
 // server side). It enforces the service's trust policy: only contributions
 // endorsed by a vetted Glimmer's signing key count.
+//
+// Aggregator is the single-round convenience facade over Pipeline,
+// configured strictly serially (one worker, one shard): it never spawns
+// goroutines, allocates exactly one sum vector and one dedup map, and the
+// lifecycle stays implicit (the round stays open; Sum and Mean read live
+// snapshots). It is safe for concurrent use — concurrent Adds serialize
+// on the single shard. High-throughput ingest should use Pipeline or
+// RoundManager directly for worker pools, sharding, and explicit
+// Seal/Close.
 type Aggregator struct {
-	serviceName string
-	verify      *xcrypto.VerifyKey
-	allowed     map[tee.Measurement]bool
-	dim         int
-	round       uint64
-
-	sum   fixed.Vector
-	count int
-	seen  map[[32]byte]bool
-
-	rejected int
+	p *Pipeline
 }
 
 // Aggregator errors.
@@ -41,88 +37,44 @@ var (
 
 // NewAggregator starts collection for one round.
 func NewAggregator(serviceName string, verify *xcrypto.VerifyKey, dim int, round uint64) *Aggregator {
-	return &Aggregator{
-		serviceName: serviceName,
-		verify:      verify,
-		allowed:     make(map[tee.Measurement]bool),
-		dim:         dim,
-		round:       round,
-		sum:         fixed.NewVector(dim),
-		seen:        make(map[[32]byte]bool),
-	}
+	return &Aggregator{p: NewPipeline(PipelineConfig{
+		ServiceName: serviceName,
+		Verify:      verify,
+		Dim:         dim,
+		Round:       round,
+		Workers:     1,
+		Shards:      1,
+	})}
 }
 
 // Vet allowlists a Glimmer measurement for this aggregator.
-func (a *Aggregator) Vet(m tee.Measurement) { a.allowed[m] = true }
+func (a *Aggregator) Vet(m tee.Measurement) { a.p.Vet(m) }
 
 // Add verifies and accumulates one encoded SignedContribution.
-func (a *Aggregator) Add(raw []byte) error {
-	sc, err := glimmer.DecodeSignedContribution(raw)
-	if err != nil {
-		a.rejected++
-		return fmt.Errorf("service: %w", err)
-	}
-	if sc.ServiceName != a.serviceName {
-		a.rejected++
-		return ErrWrongService
-	}
-	if sc.Round != a.round {
-		a.rejected++
-		return ErrWrongRound
-	}
-	if len(sc.Blinded) != a.dim {
-		a.rejected++
-		return ErrWrongDim
-	}
-	if len(a.allowed) > 0 && !a.allowed[sc.Measurement] {
-		a.rejected++
-		return ErrUnknownGlimmer
-	}
-	if !a.verify.Verify(sc.SignedBytes(), sc.Signature) {
-		a.rejected++
-		return ErrBadSignature
-	}
-	digest := sha256.Sum256(raw)
-	if a.seen[digest] {
-		a.rejected++
-		return ErrDuplicate
-	}
-	a.seen[digest] = true
-	a.sum.AddInPlace(sc.Blinded)
-	a.count++
-	return nil
-}
+func (a *Aggregator) Add(raw []byte) error { return a.p.Add(raw) }
+
+// AddBatch verifies and accumulates many encoded contributions, returning
+// one error slot per input. The facade processes the batch inline on the
+// calling goroutine; use Pipeline for a parallel verifier pool.
+func (a *Aggregator) AddBatch(raws [][]byte) []error { return a.p.AddBatch(raws) }
 
 // Count reports accepted contributions.
-func (a *Aggregator) Count() int { return a.count }
+func (a *Aggregator) Count() int { return a.p.Count() }
 
 // Rejected reports refused submissions.
-func (a *Aggregator) Rejected() int { return a.rejected }
+func (a *Aggregator) Rejected() int { return a.p.Rejected() }
 
 // Sum returns the aggregate sum. With a complete cohort the blinding masks
 // have cancelled and this is the exact sum of the true contributions.
-func (a *Aggregator) Sum() fixed.Vector { return a.sum.Clone() }
+func (a *Aggregator) Sum() fixed.Vector { return a.p.Sum() }
 
 // Mean returns the aggregate mean over accepted contributions.
-func (a *Aggregator) Mean() (fixed.Vector, error) {
-	if a.count == 0 {
-		return nil, errors.New("service: no contributions accepted")
-	}
-	out := a.sum.Clone()
-	for i := range out {
-		out[i] = fixed.Ring(int64(out[i]) / int64(a.count))
-	}
-	return out, nil
-}
+func (a *Aggregator) Mean() (fixed.Vector, error) { return a.p.Mean() }
 
 // CorrectDropout removes a reconstructed mask from the aggregate after a
 // client dropped out mid-round (see blind.RecoverMask). The mask is added
 // because the surviving sum is missing exactly the dropped client's mask
 // cancellation.
 func (a *Aggregator) CorrectDropout(recoveredMask fixed.Vector) error {
-	if len(recoveredMask) != a.dim {
-		return ErrWrongDim
-	}
-	a.sum.AddInPlace(recoveredMask)
-	return nil
+	return a.p.CorrectDropout(recoveredMask)
 }

@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"errors"
 	"fmt"
+	"sync"
 
 	"glimmers/internal/audit"
 	"glimmers/internal/glimmer"
@@ -12,12 +13,15 @@ import (
 
 // BotGate is the §4.1 web-service side of bot detection: it issues
 // challenges, audits incoming verdict messages against the public format,
-// and accepts exactly one bit per challenge — human or not.
+// and accepts exactly one bit per challenge — human or not. It is safe for
+// concurrent use: a production gate issues and checks challenges from many
+// request handlers at once.
 type BotGate struct {
 	serviceName string
 	verify      *xcrypto.VerifyKey
 	format      *audit.Format
 	// issued tracks outstanding challenges; each may be answered once.
+	mu     sync.Mutex
 	issued map[string]bool
 }
 
@@ -44,20 +48,36 @@ func (g *BotGate) NewChallenge() ([]byte, error) {
 	if _, err := rand.Read(c); err != nil {
 		return nil, fmt.Errorf("service: challenge: %w", err)
 	}
+	g.mu.Lock()
 	g.issued[string(c)] = true
+	g.mu.Unlock()
 	return c, nil
 }
 
 // CheckVerdict audits and verifies one verdict message, returning the
-// single bit it carries. The challenge is consumed: replays fail.
-func (g *BotGate) CheckVerdict(raw []byte) (bool, error) {
+// single bit it carries. The challenge is consumed: replays fail. The
+// challenge is claimed atomically up front so two concurrent answers to
+// the same challenge cannot both count; a claim whose verdict fails
+// verification is released for retry.
+func (g *BotGate) CheckVerdict(raw []byte) (human bool, err error) {
 	v, err := glimmer.DecodeVerdict(raw)
 	if err != nil {
 		return false, fmt.Errorf("service: verdict: %w", err)
 	}
-	if !g.issued[string(v.Challenge)] {
+	g.mu.Lock()
+	claimed := g.issued[string(v.Challenge)]
+	delete(g.issued, string(v.Challenge))
+	g.mu.Unlock()
+	if !claimed {
 		return false, ErrUnknownChallenge
 	}
+	defer func() {
+		if err != nil {
+			g.mu.Lock()
+			g.issued[string(v.Challenge)] = true
+			g.mu.Unlock()
+		}
+	}()
 	// Runtime audit: the message must match the public format exactly and
 	// carry no more than the format's one bit.
 	rep, err := g.format.Check(raw, map[string][]byte{"challenge": v.Challenge})
@@ -73,6 +93,5 @@ func (g *BotGate) CheckVerdict(raw []byte) (bool, error) {
 	if !g.verify.Verify(v.SignedBytes(), v.Signature) {
 		return false, ErrVerdictSignature
 	}
-	delete(g.issued, string(v.Challenge))
 	return v.Human, nil
 }

@@ -1,0 +1,446 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"glimmers/internal/fixed"
+	"glimmers/internal/glimmer"
+	"glimmers/internal/tee"
+	"glimmers/internal/xcrypto"
+)
+
+// Round lifecycle errors.
+var (
+	// ErrRoundSealed is returned by Add/AddBatch once Seal has been called:
+	// the cohort is fixed and the aggregate is being (or has been) merged.
+	ErrRoundSealed = errors.New("service: round is sealed")
+	// ErrRoundClosed is returned once Close has been called; after close the
+	// aggregate is immutable (no further ingest or dropout correction).
+	ErrRoundClosed = errors.New("service: round is closed")
+)
+
+// Round lifecycle states: open (ingesting) → sealed (cohort fixed, dropout
+// correction still allowed) → closed (aggregate immutable).
+const (
+	roundOpen = iota
+	roundSealed
+	roundClosed
+)
+
+// PipelineConfig sizes one round's ingest pipeline.
+type PipelineConfig struct {
+	// ServiceName, Verify, Dim, Round fix the round's identity and trust
+	// policy, exactly as NewAggregator's parameters do.
+	ServiceName string
+	Verify      *xcrypto.VerifyKey
+	Dim         int
+	Round       uint64
+	// Workers is the size of the verifier pool AddBatch fans out to.
+	// Workers == 1 processes batches inline on the calling goroutine (the
+	// serial baseline); <= 0 defaults to GOMAXPROCS.
+	Workers int
+	// Shards is the number of independently locked dedup/sum shards,
+	// rounded up to a power of two; <= 0 defaults to 2×Workers. More shards
+	// mean less accumulation contention under concurrent ingest.
+	Shards int
+}
+
+// pipeShard is one lock's worth of aggregation state. Contributions are
+// routed by digest, so under concurrent ingest the shards fill evenly and
+// two workers rarely contend on the same lock.
+type pipeShard struct {
+	mu    sync.Mutex
+	seen  map[[32]byte]bool
+	sum   fixed.Vector
+	count int
+}
+
+// Pipeline is the concurrent ingest path for one aggregation round: decode
+// and signature checks run on whatever goroutine delivers the contribution
+// (many callers, or the AddBatch worker pool), and accumulation is sharded
+// by contribution digest so the only serialization is a brief per-shard
+// lock. All methods are safe for concurrent use.
+//
+// A round moves through an explicit lifecycle: while open it ingests; Seal
+// fixes the cohort, drains in-flight work, and merges the shards; Close
+// makes the aggregate immutable (CorrectDropout is valid only before
+// close, mirroring the blind-recovery window of the dropout protocol).
+type Pipeline struct {
+	cfg       PipelineConfig
+	shardMask uint64
+	shards    []*pipeShard
+
+	allowMu sync.RWMutex
+	allowed map[tee.Measurement]bool
+
+	// stateMu orders lifecycle transitions against intake: intake holds the
+	// read side while registering with pending, transitions hold the write
+	// side, so no contribution can slip in after a state change.
+	stateMu sync.RWMutex
+	state   int
+	pending sync.WaitGroup
+
+	rejected atomic.Int64
+
+	// The worker pool starts lazily on the first AddBatch, so a Pipeline
+	// used only through the synchronous Add (e.g. via Aggregator) costs no
+	// goroutines.
+	poolOnce    sync.Once
+	poolStarted atomic.Bool
+	jobs        chan batchJob
+	workerWG    sync.WaitGroup
+
+	// merged/final hold the shard-merged aggregate once sealed. final is
+	// guarded by stateMu after the merge (dropout correction mutates it).
+	mergeOnce  sync.Once
+	merged     atomic.Bool
+	final      fixed.Vector
+	finalCount int
+}
+
+type batchJob struct {
+	raw []byte
+	err *error
+	wg  *sync.WaitGroup
+}
+
+// NewPipeline creates the ingest pipeline for one round.
+func NewPipeline(cfg PipelineConfig) *Pipeline {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 2 * cfg.Workers
+	}
+	cfg.Shards = nextPowerOfTwo(cfg.Shards)
+	p := &Pipeline{
+		cfg:       cfg,
+		shardMask: uint64(cfg.Shards - 1),
+		shards:    make([]*pipeShard, cfg.Shards),
+		allowed:   make(map[tee.Measurement]bool),
+	}
+	for i := range p.shards {
+		p.shards[i] = &pipeShard{
+			seen: make(map[[32]byte]bool),
+			sum:  fixed.NewVector(cfg.Dim),
+		}
+	}
+	return p
+}
+
+func nextPowerOfTwo(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Round returns the round this pipeline aggregates.
+func (p *Pipeline) Round() uint64 { return p.cfg.Round }
+
+// Vet allowlists a Glimmer measurement. Safe to call while ingest runs.
+func (p *Pipeline) Vet(m tee.Measurement) {
+	p.allowMu.Lock()
+	p.allowed[m] = true
+	p.allowMu.Unlock()
+}
+
+// allowlistAdmits is the single admission rule shared by every allowlist
+// holder (Pipeline, RoundManager): an empty allowlist admits everything,
+// as the serial aggregator did.
+func allowlistAdmits(allowed map[tee.Measurement]bool, m tee.Measurement) bool {
+	return len(allowed) == 0 || allowed[m]
+}
+
+// vetted reports whether the measurement passes the allowlist.
+func (p *Pipeline) vetted(m tee.Measurement) bool {
+	p.allowMu.RLock()
+	defer p.allowMu.RUnlock()
+	return allowlistAdmits(p.allowed, m)
+}
+
+// enter registers n in-flight contributions, failing if the round has
+// left the open state. Lifecycle refusals count toward Rejected like any
+// other refused submission.
+func (p *Pipeline) enter(n int) error {
+	p.stateMu.RLock()
+	defer p.stateMu.RUnlock()
+	switch p.state {
+	case roundSealed:
+		p.rejected.Add(int64(n))
+		return ErrRoundSealed
+	case roundClosed:
+		p.rejected.Add(int64(n))
+		return ErrRoundClosed
+	}
+	p.pending.Add(n)
+	return nil
+}
+
+// open reports whether the round is still ingesting.
+func (p *Pipeline) open() bool {
+	p.stateMu.RLock()
+	defer p.stateMu.RUnlock()
+	return p.state == roundOpen
+}
+
+// Add verifies and accumulates one encoded SignedContribution on the
+// calling goroutine. Safe to call from many goroutines concurrently —
+// throughput scales with the callers.
+func (p *Pipeline) Add(raw []byte) error {
+	if err := p.enter(1); err != nil {
+		return err
+	}
+	defer p.pending.Done()
+	return p.process(raw)
+}
+
+// AddBatch verifies and accumulates a batch of encoded contributions,
+// fanning them across the verifier pool, and returns one error slot per
+// input (nil for accepted). It blocks until the whole batch has settled.
+func (p *Pipeline) AddBatch(raws [][]byte) []error {
+	errs := make([]error, len(raws))
+	if len(raws) == 0 {
+		return errs
+	}
+	if err := p.enter(len(raws)); err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return errs
+	}
+	if p.cfg.Workers == 1 {
+		// Serial baseline: no pool, no handoff.
+		for i, raw := range raws {
+			errs[i] = p.process(raw)
+			p.pending.Done()
+		}
+		return errs
+	}
+	p.poolOnce.Do(p.startPool)
+	var wg sync.WaitGroup
+	wg.Add(len(raws))
+	for i, raw := range raws {
+		p.jobs <- batchJob{raw: raw, err: &errs[i], wg: &wg}
+	}
+	wg.Wait()
+	return errs
+}
+
+func (p *Pipeline) startPool() {
+	p.jobs = make(chan batchJob, 4*p.cfg.Workers)
+	p.workerWG.Add(p.cfg.Workers)
+	for i := 0; i < p.cfg.Workers; i++ {
+		go p.worker()
+	}
+	p.poolStarted.Store(true)
+}
+
+func (p *Pipeline) worker() {
+	defer p.workerWG.Done()
+	for job := range p.jobs {
+		err := p.process(job.raw)
+		if job.err != nil {
+			*job.err = err
+		}
+		job.wg.Done()
+		p.pending.Done()
+	}
+}
+
+// checkContribution runs the stateless checks shared by pipeline ingest
+// and round admission (RoundManager.preverify): decode, service identity,
+// round (when wantRound is non-nil — the cheap checks come before the
+// expensive signature verify so stale traffic is cheap to reject),
+// dimension, allowlist, signature. Dedup is the caller's business.
+// Keeping this in one place means the two call sites cannot drift apart.
+func checkContribution(serviceName string, verify *xcrypto.VerifyKey, dim int, wantRound *uint64,
+	vetted func(tee.Measurement) bool, raw []byte) (glimmer.SignedContribution, error) {
+	sc, signed, err := glimmer.DecodeSignedContributionBytes(raw)
+	if err != nil {
+		return sc, fmt.Errorf("service: %w", err)
+	}
+	if sc.ServiceName != serviceName {
+		return sc, ErrWrongService
+	}
+	if wantRound != nil && sc.Round != *wantRound {
+		return sc, ErrWrongRound
+	}
+	if len(sc.Blinded) != dim {
+		return sc, ErrWrongDim
+	}
+	if !vetted(sc.Measurement) {
+		return sc, ErrUnknownGlimmer
+	}
+	if !verify.Verify(signed, sc.Signature) {
+		return sc, ErrBadSignature
+	}
+	return sc, nil
+}
+
+// process is the per-contribution hot path: decode, policy checks,
+// signature verification (all lock-free), then a brief shard-local
+// critical section for dedup and accumulation.
+func (p *Pipeline) process(raw []byte) error {
+	sc, err := checkContribution(p.cfg.ServiceName, p.cfg.Verify, p.cfg.Dim, &p.cfg.Round, p.vetted, raw)
+	if err != nil {
+		return p.reject(err)
+	}
+	digest := sha256.Sum256(raw)
+	sh := p.shards[binary.BigEndian.Uint64(digest[:8])&p.shardMask]
+	sh.mu.Lock()
+	if sh.seen[digest] {
+		sh.mu.Unlock()
+		return p.reject(ErrDuplicate)
+	}
+	sh.seen[digest] = true
+	sh.sum.AddInPlace(sc.Blinded)
+	sh.count++
+	sh.mu.Unlock()
+	return nil
+}
+
+func (p *Pipeline) reject(err error) error {
+	p.rejected.Add(1)
+	return err
+}
+
+// Seal fixes the cohort: it stops intake, drains in-flight contributions,
+// and merges the shards into the final aggregate. Sealing an already
+// sealed round is a no-op; sealing a closed round returns ErrRoundClosed.
+func (p *Pipeline) Seal() error {
+	p.stateMu.Lock()
+	if p.state == roundClosed {
+		p.stateMu.Unlock()
+		return ErrRoundClosed
+	}
+	p.state = roundSealed
+	p.stateMu.Unlock()
+	p.pending.Wait()
+	p.mergeOnce.Do(p.merge)
+	return nil
+}
+
+// merge folds the quiescent shards into final. Runs exactly once, after
+// intake has stopped and in-flight work has drained.
+func (p *Pipeline) merge() {
+	p.final = fixed.NewVector(p.cfg.Dim)
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		p.final.AddInPlace(sh.sum)
+		p.finalCount += sh.count
+		sh.mu.Unlock()
+	}
+	p.merged.Store(true)
+}
+
+// Close seals the round if needed and makes the aggregate immutable. The
+// worker pool, if started, is torn down. Closing twice is a no-op; Sum,
+// Mean, Count and Rejected remain available.
+func (p *Pipeline) Close() {
+	_ = p.Seal() // only fails with ErrRoundClosed, which Close absorbs
+	p.stateMu.Lock()
+	if p.state == roundClosed {
+		p.stateMu.Unlock()
+		return
+	}
+	p.state = roundClosed
+	p.stateMu.Unlock()
+	if p.poolStarted.Load() {
+		close(p.jobs)
+		p.workerWG.Wait()
+	}
+}
+
+// snapshot reads sum and count together — each shard's pair is taken
+// under its lock, so a concurrent Add is either wholly in or wholly out
+// of the result, never split between the sum and the count.
+func (p *Pipeline) snapshot() (fixed.Vector, int) {
+	if p.merged.Load() {
+		p.stateMu.RLock()
+		defer p.stateMu.RUnlock()
+		return p.final.Clone(), p.finalCount
+	}
+	out := fixed.NewVector(p.cfg.Dim)
+	count := 0
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		out.AddInPlace(sh.sum)
+		count += sh.count
+		sh.mu.Unlock()
+	}
+	return out, count
+}
+
+// Sum returns the aggregate sum. After Seal it is the merged, stable
+// aggregate; while the round is open it is a live snapshot and concurrent
+// Adds may land before or after it.
+func (p *Pipeline) Sum() fixed.Vector {
+	sum, _ := p.snapshot()
+	return sum
+}
+
+// Count reports accepted contributions (a live snapshot while open).
+func (p *Pipeline) Count() int {
+	if p.merged.Load() {
+		p.stateMu.RLock()
+		defer p.stateMu.RUnlock()
+		return p.finalCount
+	}
+	total := 0
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		total += sh.count
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Rejected reports refused submissions.
+func (p *Pipeline) Rejected() int { return int(p.rejected.Load()) }
+
+// Mean returns the aggregate mean over accepted contributions.
+func (p *Pipeline) Mean() (fixed.Vector, error) {
+	sum, n := p.snapshot()
+	if n == 0 {
+		return nil, errors.New("service: no contributions accepted")
+	}
+	sum.DivScalarInPlace(int64(n))
+	return sum, nil
+}
+
+// CorrectDropout removes a reconstructed mask from the aggregate after a
+// client dropped out mid-round (see blind.RecoverMask). The mask is added
+// because the surviving sum is missing exactly the dropped client's mask
+// cancellation. Valid while the round is open or sealed; a closed round's
+// aggregate is immutable.
+func (p *Pipeline) CorrectDropout(recoveredMask fixed.Vector) error {
+	if len(recoveredMask) != p.cfg.Dim {
+		return ErrWrongDim
+	}
+	p.stateMu.Lock()
+	defer p.stateMu.Unlock()
+	if p.state == roundClosed {
+		return ErrRoundClosed
+	}
+	if p.state == roundSealed || p.merged.Load() {
+		// Make sure the merge has happened (Seal may be mid-flight on
+		// another goroutine; pending cannot grow while we hold stateMu).
+		p.pending.Wait()
+		p.mergeOnce.Do(p.merge)
+		p.final.AddInPlace(recoveredMask)
+		return nil
+	}
+	sh := p.shards[0]
+	sh.mu.Lock()
+	sh.sum.AddInPlace(recoveredMask)
+	sh.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,344 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"glimmers/internal/glimmer"
+	"glimmers/internal/tee"
+)
+
+// DefaultMaxRounds bounds the live pipelines a RoundManager will create
+// from ingest traffic. Round creation is already gated on a verifying
+// signature (see preverify), so the cap is the second line of defense: it
+// bounds what a compromised-but-vetted client naming arbitrary rounds can
+// allocate. A real deployment has at most a handful of rounds in flight.
+const DefaultMaxRounds = 64
+
+// ErrTooManyRounds is returned by ingest when a contribution names a new
+// round while the manager is already at its live-round limit.
+var ErrTooManyRounds = errors.New("service: too many concurrent rounds")
+
+// ErrRoundOutOfWindow is returned by ingest when a contribution names a
+// new round too far from the rounds currently in flight.
+var ErrRoundOutOfWindow = errors.New("service: round outside admission window")
+
+// RoundManager owns the pipelines for concurrent aggregation rounds, keyed
+// by round number. Transports (cmd/glimmerd, internal/gaas) hand it raw
+// contributions in any order; each is routed to its round's pipeline by a
+// cheap header peek, so a service can keep round N open for stragglers
+// while round N+1 is already filling. All methods are safe for concurrent
+// use.
+type RoundManager struct {
+	cfg PipelineConfig // template; Round is overridden per pipeline
+
+	// MaxRounds caps how many live rounds ingest traffic may create
+	// (<= 0 means DefaultMaxRounds). Set before serving traffic. The
+	// explicit Round method is operator-driven and not subject to the cap.
+	MaxRounds int
+
+	// EvictAtCap makes ingest at the cap close and forget the least-filled
+	// open round (fewest accepted contributions; highest round number on
+	// ties) to admit a new verified one, instead of returning
+	// ErrTooManyRounds. Evicting by fill means a vetted client spraying
+	// fresh round numbers mostly evicts its own near-empty rounds, and a
+	// round with a substantially filled cohort outlasts any spray — though
+	// a client willing to spend valid contributions can still tie and
+	// displace a round with an equally small count, so this bounds damage
+	// rather than eliminating it. Suits unattended daemons (cmd/glimmerd);
+	// services that consume aggregates should retire rounds explicitly via
+	// Close/Forget instead.
+	EvictAtCap bool
+
+	// RoundWindow, when non-zero, restricts which new rounds ingest may
+	// create: within RoundWindow of the highest established live round —
+	// one with at least two accepted contributions. Anchoring only on
+	// established rounds means a single stray far-off round (a stale
+	// client or epoch-misconfigured bug, admitted while nothing was live)
+	// cannot become the anchor and wedge all real traffic; until some
+	// round establishes, admission falls back to the cap alone. This is a
+	// guard against accidents, not a security boundary: the round number
+	// is client-chosen and the anchor moves with the workload, so a
+	// vetted client can still walk the window forward. Deployments that
+	// need hard round authority must assign round numbers server-side.
+	// Explicitly created rounds (Round) are not subject to it.
+	RoundWindow uint64
+
+	mu     sync.Mutex
+	rounds map[uint64]*Pipeline
+	vetted map[tee.Measurement]bool
+
+	// rejected counts manager-level refusals (unroutable bytes, failed
+	// round admission); refusals on an existing round are counted by that
+	// round's Pipeline.Rejected.
+	rejected atomic.Int64
+}
+
+// NewRoundManager creates a manager that spawns pipelines from cfg
+// (cfg.Round is ignored; each round gets its own).
+func NewRoundManager(cfg PipelineConfig) *RoundManager {
+	return &RoundManager{
+		cfg:    cfg,
+		rounds: make(map[uint64]*Pipeline),
+		vetted: make(map[tee.Measurement]bool),
+	}
+}
+
+// Vet allowlists a measurement for every current and future round.
+func (m *RoundManager) Vet(meas tee.Measurement) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.vetted[meas] = true
+	for _, p := range m.rounds {
+		p.Vet(meas)
+	}
+}
+
+// Rejected reports contributions refused before reaching any round's
+// pipeline: undecodable headers, failed round-admission verification, and
+// window/cap refusals.
+func (m *RoundManager) Rejected() int { return int(m.rejected.Load()) }
+
+// refuse records a manager-level rejection.
+func (m *RoundManager) refuse(err error) error {
+	m.rejected.Add(1)
+	return err
+}
+
+// Round returns the pipeline for the given round, creating it if needed.
+func (m *RoundManager) Round(round uint64) *Pipeline {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.roundLocked(round)
+}
+
+func (m *RoundManager) roundLocked(round uint64) *Pipeline {
+	if p, ok := m.rounds[round]; ok {
+		return p
+	}
+	cfg := m.cfg
+	cfg.Round = round
+	p := NewPipeline(cfg)
+	for meas := range m.vetted {
+		p.Vet(meas)
+	}
+	m.rounds[round] = p
+	return p
+}
+
+// Lookup returns the pipeline for a round without creating one.
+func (m *RoundManager) Lookup(round uint64) (*Pipeline, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.rounds[round]
+	return p, ok
+}
+
+// Rounds lists the rounds with live pipelines, ascending.
+func (m *RoundManager) Rounds() []uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]uint64, 0, len(m.rounds))
+	for r := range m.rounds {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// preverify runs the stateless checks a pipeline would (see
+// checkContribution) without touching round state. It gates pipeline
+// creation: only a contribution that would be accepted (duplicates aside)
+// may bring a new round into existence, so unauthenticated bytes can
+// never allocate rounds.
+func (m *RoundManager) preverify(raw []byte) error {
+	_, err := checkContribution(m.cfg.ServiceName, m.cfg.Verify, m.cfg.Dim, nil, m.isVetted, raw)
+	return err
+}
+
+// isVetted applies the shared admission rule to the manager's allowlist.
+func (m *RoundManager) isVetted(meas tee.Measurement) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return allowlistAdmits(m.vetted, meas)
+}
+
+// ingestRound creates a verified contribution's round, refusing past the
+// MaxRounds cap. Evicted pipelines are closed only after the manager lock
+// is released: Close drains the victim's in-flight batches, and holding
+// m.mu through that drain would stall ingest for every other round.
+func (m *RoundManager) ingestRound(round uint64) (*Pipeline, error) {
+	p, victims, err := m.admitRound(round)
+	for _, v := range victims {
+		v.Close()
+	}
+	return p, err
+}
+
+func (m *RoundManager) admitRound(round uint64) (*Pipeline, []*Pipeline, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p, ok := m.rounds[round]; ok {
+		return p, nil, nil
+	}
+	if m.RoundWindow > 0 {
+		anchor, anchored := uint64(0), false
+		for r, p := range m.rounds {
+			if p.Count() >= 2 && (!anchored || r > anchor) {
+				anchor, anchored = r, true
+			}
+		}
+		if anchored {
+			outsideAbove := round > anchor && round-anchor > m.RoundWindow
+			outsideBelow := round < anchor && anchor-round > m.RoundWindow
+			if outsideAbove || outsideBelow {
+				return nil, nil, ErrRoundOutOfWindow
+			}
+		}
+	}
+	max := m.MaxRounds
+	if max <= 0 {
+		max = DefaultMaxRounds
+	}
+	var victims []*Pipeline
+	for len(m.rounds) >= max {
+		if !m.EvictAtCap {
+			return nil, victims, ErrTooManyRounds
+		}
+		// Only open rounds are evictable: a sealed or closed pipeline
+		// stays registered so its anti-reopen guarantee (stragglers get
+		// ErrRoundSealed/ErrRoundClosed, never a fresh dedup set) holds.
+		// Among open rounds the least-filled loses; on a count tie the
+		// highest round number loses, so a client spraying ascending
+		// fresh rounds evicts its own spray before a round that opened
+		// earlier.
+		var victim uint64
+		victimCount, found := 0, false
+		for r, p := range m.rounds {
+			if !p.open() {
+				continue
+			}
+			c := p.Count()
+			if !found || c < victimCount || (c == victimCount && r > victim) {
+				victim, victimCount, found = r, c, true
+			}
+		}
+		if !found {
+			return nil, victims, ErrTooManyRounds
+		}
+		victims = append(victims, m.rounds[victim])
+		delete(m.rounds, victim)
+	}
+	return m.roundLocked(round), victims, nil
+}
+
+// Ingest routes one encoded contribution to its round's pipeline. A
+// contribution for a round with no live pipeline must fully verify before
+// the round is created (it then verifies once more inside the pipeline —
+// the double cost applies only to each round's first contribution).
+func (m *RoundManager) Ingest(raw []byte) error {
+	round, err := glimmer.PeekContributionRound(raw)
+	if err != nil {
+		return m.refuse(fmt.Errorf("service: %w", err))
+	}
+	p, ok := m.Lookup(round)
+	if !ok {
+		if err := m.preverify(raw); err != nil {
+			return m.refuse(err)
+		}
+		if p, err = m.ingestRound(round); err != nil {
+			return m.refuse(err)
+		}
+	}
+	return p.Add(raw)
+}
+
+// IngestBatch routes a batch of encoded contributions, grouping them by
+// round so each group rides its pipeline's verifier pool. It returns the
+// number accepted and one error slot per input, aligned with raws.
+func (m *RoundManager) IngestBatch(raws [][]byte) (int, []error) {
+	errs := make([]error, len(raws))
+	groups := make(map[uint64][]int)
+	for i, raw := range raws {
+		round, err := glimmer.PeekContributionRound(raw)
+		if err != nil {
+			errs[i] = m.refuse(fmt.Errorf("service: %w", err))
+			continue
+		}
+		groups[round] = append(groups[round], i)
+	}
+	for round, idx := range groups {
+		p, ok := m.Lookup(round)
+		start := 0
+		if !ok {
+			// Gate creation of an unseen round on its first verifying
+			// contribution; items failing the gate are rejected here.
+			for ; start < len(idx) && p == nil; start++ {
+				if err := m.preverify(raws[idx[start]]); err != nil {
+					errs[idx[start]] = m.refuse(err)
+					continue
+				}
+				var cerr error
+				if p, cerr = m.ingestRound(round); cerr != nil {
+					for _, i := range idx[start:] {
+						errs[i] = m.refuse(cerr)
+					}
+					break
+				}
+				start-- // re-include the verifying item in the batch
+			}
+			if p == nil {
+				continue
+			}
+		}
+		batch := make([][]byte, 0, len(idx)-start)
+		for _, i := range idx[start:] {
+			batch = append(batch, raws[i])
+		}
+		for j, err := range p.AddBatch(batch) {
+			errs[idx[start+j]] = err
+		}
+	}
+	accepted := 0
+	for _, err := range errs {
+		if err == nil {
+			accepted++
+		}
+	}
+	return accepted, errs
+}
+
+// Seal seals one round's pipeline (see Pipeline.Seal). Sealing a round
+// that was never opened creates and immediately seals it, so a late
+// straggler cannot reopen it.
+func (m *RoundManager) Seal(round uint64) error {
+	return m.Round(round).Seal()
+}
+
+// Close closes one round's pipeline (see Pipeline.Close). The pipeline
+// stays registered so stragglers for the round get ErrRoundClosed instead
+// of silently reopening it; the returned pipeline still serves
+// Sum/Mean/Count for whoever consumes the aggregate. Call Forget once the
+// aggregate is consumed to release the round's dedup state.
+func (m *RoundManager) Close(round uint64) *Pipeline {
+	p := m.Round(round)
+	p.Close()
+	return p
+}
+
+// Forget drops a round's pipeline entirely, closing it first (so any
+// worker pool is torn down) and releasing its memory. A fresh verified
+// contribution for a forgotten round would start a new pipeline, so only
+// forget rounds the transport no longer routes.
+func (m *RoundManager) Forget(round uint64) {
+	m.mu.Lock()
+	p, ok := m.rounds[round]
+	delete(m.rounds, round)
+	m.mu.Unlock()
+	if ok {
+		p.Close()
+	}
+}

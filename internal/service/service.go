@@ -81,7 +81,9 @@ func (s *Service) ContributionVerifyKey() *xcrypto.VerifyKey {
 }
 
 // Vet adds a Glimmer measurement to the allowlist — the paper's "once it
-// has been vetted, the hash of the Glimmer is published".
+// has been vetted, the hash of the Glimmer is published". Safe to call
+// while provisioning or ingest runs concurrently: the underlying
+// QuoteVerifier serializes allowlist growth against its readers.
 func (s *Service) Vet(m tee.Measurement) { s.verifier.Allow(m) }
 
 // SetPredicate fixes the validation predicate the service provisions. The

@@ -5,6 +5,7 @@ import (
 	"crypto/subtle"
 	"errors"
 	"fmt"
+	"sync"
 
 	"glimmers/internal/xcrypto"
 )
@@ -98,6 +99,11 @@ var (
 // QuoteVerifier checks quotes against the attestation service root and an
 // optional measurement allowlist — the paper's "published hash of the
 // vetted Glimmer".
+//
+// Allow and Verify are safe for concurrent use: services vet new Glimmer
+// builds while live ingest pipelines verify quotes against the same
+// allowlist. The exported fields are fixed at construction; runtime
+// allowlist growth must go through Allow.
 type QuoteVerifier struct {
 	// Root is the attestation service's verification key. Required.
 	Root *xcrypto.VerifyKey
@@ -105,10 +111,32 @@ type QuoteVerifier struct {
 	Allowed []Measurement
 	// Revoked, when non-nil, consults a revocation oracle for the platform.
 	Revoked func(PlatformID) bool
+
+	mu sync.RWMutex // guards Allowed against concurrent Allow/Verify
 }
 
 // Allow appends a measurement to the allowlist.
-func (v *QuoteVerifier) Allow(m Measurement) { v.Allowed = append(v.Allowed, m) }
+func (v *QuoteVerifier) Allow(m Measurement) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.Allowed = append(v.Allowed, m)
+}
+
+// allowed reports whether the measurement passes the allowlist (an empty
+// allowlist admits everything).
+func (v *QuoteVerifier) allowed(m Measurement) bool {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if len(v.Allowed) == 0 {
+		return true
+	}
+	for _, a := range v.Allowed {
+		if a == m {
+			return true
+		}
+	}
+	return false
+}
 
 // Verify checks the full chain: certificate under the root, report
 // signature under the certified key, platform consistency, revocation, and
@@ -134,17 +162,8 @@ func (v *QuoteVerifier) Verify(q Quote) error {
 	if !attestKey.Verify(q.Report.signedBytes(), q.Signature) {
 		return ErrQuoteSignature
 	}
-	if len(v.Allowed) > 0 {
-		ok := false
-		for _, m := range v.Allowed {
-			if m == q.Report.Measurement {
-				ok = true
-				break
-			}
-		}
-		if !ok {
-			return fmt.Errorf("%w: %v", ErrQuoteMeasurement, q.Report.Measurement)
-		}
+	if !v.allowed(q.Report.Measurement) {
+		return fmt.Errorf("%w: %v", ErrQuoteMeasurement, q.Report.Measurement)
 	}
 	return nil
 }

@@ -1,0 +1,52 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Batch framing: transports that carry many contributions per call (the
+// gaas submit path, bulk ingest clients) wrap them in one length-prefixed
+// frame — a u32 item count followed by that many byte fields — so a single
+// network round trip can feed a whole verifier pool.
+
+// MaxBatchItems caps one batch frame. A frame is decoded into memory
+// before processing, so the cap bounds a hostile frame's allocation the
+// same way MaxFieldLen bounds one field.
+const MaxBatchItems = 1 << 16
+
+// ErrBatchTooLarge is returned when a batch frame declares more items than
+// MaxBatchItems.
+var ErrBatchTooLarge = errors.New("wire: batch exceeds item limit")
+
+// EncodeBatch frames items into one batch message.
+func EncodeBatch(items [][]byte) []byte {
+	w := NewWriter()
+	w.Uint32(uint32(len(items)))
+	for _, item := range items {
+		w.Bytes(item)
+	}
+	return w.Finish()
+}
+
+// DecodeBatch reverses EncodeBatch. Every item is an independent copy, so
+// decoded batches can be fanned out to concurrent workers that outlive the
+// frame buffer.
+func DecodeBatch(data []byte) ([][]byte, error) {
+	r := NewReader(data)
+	n := r.Uint32()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n > MaxBatchItems {
+		return nil, fmt.Errorf("%w: %d items", ErrBatchTooLarge, n)
+	}
+	items := make([][]byte, 0, n)
+	for i := uint32(0); i < n; i++ {
+		items = append(items, r.Bytes())
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("wire: batch: %w", err)
+	}
+	return items, nil
+}

@@ -126,18 +126,27 @@ func (r *Reader) take(n int) []byte {
 	return out
 }
 
-// Bytes reads a length-prefixed byte field. The returned slice is a copy.
-func (r *Reader) Bytes() []byte {
+// fieldLen reads and validates a field's length prefix.
+func (r *Reader) fieldLen() int {
 	lenBytes := r.take(4)
 	if r.err != nil {
-		return nil
+		return 0
 	}
 	n := binary.BigEndian.Uint32(lenBytes)
 	if n > MaxFieldLen {
 		r.fail(fmt.Errorf("wire: field length %d exceeds limit", n))
+		return 0
+	}
+	return int(n)
+}
+
+// Bytes reads a length-prefixed byte field. The returned slice is a copy.
+func (r *Reader) Bytes() []byte {
+	n := r.fieldLen()
+	if r.err != nil {
 		return nil
 	}
-	raw := r.take(int(n))
+	raw := r.take(n)
 	if r.err != nil {
 		return nil
 	}
@@ -146,6 +155,16 @@ func (r *Reader) Bytes() []byte {
 
 // String reads a length-prefixed string field.
 func (r *Reader) String() string { return string(r.Bytes()) }
+
+// SkipBytes advances past a length-prefixed byte field without copying it,
+// for readers that only need a later field.
+func (r *Reader) SkipBytes() {
+	n := r.fieldLen()
+	if r.err != nil {
+		return
+	}
+	r.take(n)
+}
 
 // Uint64 reads a fixed-width 64-bit field.
 func (r *Reader) Uint64() uint64 {
