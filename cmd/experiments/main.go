@@ -1,5 +1,5 @@
 // Command experiments regenerates every experiment in README.md's index
-// (E1–E12) and prints their tables.
+// (E1–E13) and prints their tables.
 //
 // Usage:
 //
@@ -24,7 +24,7 @@ type runner struct {
 }
 
 func main() {
-	runFlag := flag.String("run", "", "comma-separated experiment ids (e1..e12); empty runs all")
+	runFlag := flag.String("run", "", "comma-separated experiment ids (e1..e13); empty runs all")
 	flag.Parse()
 
 	fig1 := experiments.DefaultFigure1()
@@ -41,6 +41,7 @@ func main() {
 		{"e10", "§2: consortium comparison", func() (interface{ Table() string }, error) { return experiments.RunE10(experiments.DefaultE10()) }},
 		{"e11", "§1/§3: photos for maps", func() (interface{ Table() string }, error) { return experiments.RunE11(experiments.DefaultE11()) }},
 		{"e12", "§3: predicate verification", func() (interface{ Table() string }, error) { return experiments.RunE12() }},
+		{"e13", "fleet simulator: fault sweep", func() (interface{ Table() string }, error) { return experiments.RunE13(experiments.DefaultE13()) }},
 	}
 
 	want := map[string]bool{}
@@ -64,7 +65,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "no experiments matched %q (valid: e1..e12)\n", *runFlag)
+		fmt.Fprintf(os.Stderr, "no experiments matched %q (valid: e1..e13)\n", *runFlag)
 		os.Exit(2)
 	}
 }

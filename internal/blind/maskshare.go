@@ -1,0 +1,44 @@
+package blind
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"glimmers/internal/fixed"
+)
+
+// Mask sharing: a dealer (or a client about to go offline) Shamir-splits a
+// blinding mask so that any k of n holders can reconstruct it if the owner
+// drops out mid-round. The aggregator then removes the reconstructed mask
+// via CorrectDropout, keeping the surviving cohort's aggregate exact. The
+// mask is serialized byte-wise (big-endian ring elements) so the GF(256)
+// sharing in shamir.go applies unchanged.
+
+// ShareMask splits a mask vector into n Shamir shares with threshold k.
+func ShareMask(mask fixed.Vector, n, k int) ([]Share, error) {
+	if len(mask) == 0 {
+		return nil, fmt.Errorf("blind: cannot share an empty mask")
+	}
+	buf := make([]byte, 8*len(mask))
+	for i, r := range mask {
+		binary.BigEndian.PutUint64(buf[i*8:], uint64(r))
+	}
+	return SplitSecret(buf, n, k)
+}
+
+// RecoverSharedMask reconstructs a mask of the given dimension from at
+// least k shares produced by ShareMask.
+func RecoverSharedMask(shares []Share, k, dim int) (fixed.Vector, error) {
+	buf, err := CombineShares(shares, k)
+	if err != nil {
+		return nil, fmt.Errorf("blind: recover mask: %w", err)
+	}
+	if len(buf) != 8*dim {
+		return nil, fmt.Errorf("blind: recovered %d bytes, want %d for dim %d", len(buf), 8*dim, dim)
+	}
+	mask := fixed.NewVector(dim)
+	for i := range mask {
+		mask[i] = fixed.Ring(binary.BigEndian.Uint64(buf[i*8:]))
+	}
+	return mask, nil
+}

@@ -1,0 +1,49 @@
+package blind
+
+import (
+	"math/rand"
+	"testing"
+
+	"glimmers/internal/fixed"
+)
+
+func TestShareMaskRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const dim, n, k = 9, 6, 4
+	mask := fixed.NewVector(dim)
+	for i := range mask {
+		mask[i] = fixed.Ring(rng.Uint64())
+	}
+	shares, err := ShareMask(mask, n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares) != n {
+		t.Fatalf("got %d shares, want %d", len(shares), n)
+	}
+	// Any k shares reconstruct; use a non-prefix subset.
+	subset := []Share{shares[5], shares[1], shares[3], shares[2]}
+	got, err := RecoverSharedMask(subset, k, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range mask {
+		if got[d] != mask[d] {
+			t.Fatalf("recovered mask differs at %d: %v != %v", d, got[d], mask[d])
+		}
+	}
+	// Fewer than k shares must fail.
+	if _, err := RecoverSharedMask(shares[:k-1], k, dim); err == nil {
+		t.Fatal("recovery with k-1 shares succeeded")
+	}
+	// Wrong dimension must fail.
+	if _, err := RecoverSharedMask(shares[:k], k, dim+1); err == nil {
+		t.Fatal("recovery with wrong dim succeeded")
+	}
+}
+
+func TestShareMaskRejectsEmpty(t *testing.T) {
+	if _, err := ShareMask(nil, 3, 2); err == nil {
+		t.Fatal("sharing an empty mask succeeded")
+	}
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+func TestE13FaultSweep(t *testing.T) {
+	cfg := DefaultE13()
+	cfg.Devices = 8
+	cfg.Rounds = 3
+	cfg.FaultRates = []float64{0, 0.3}
+	res, err := RunE13(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("invariant violations: %v", res.Violations)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if !row.Exact || !row.InvariantsOK {
+			t.Errorf("rate %g: exact=%v invariants=%v", row.FaultRate, row.Exact, row.InvariantsOK)
+		}
+	}
+	// Faults must cost acceptance, and the zero-rate run must accept the
+	// full fleet minus the racing straggler at worst.
+	if res.Rows[1].Accepted >= res.Rows[0].Accepted {
+		t.Errorf("fault rate 0.3 accepted %d >= clean run %d", res.Rows[1].Accepted, res.Rows[0].Accepted)
+	}
+	if res.Rows[1].ServiceRejected == 0 {
+		t.Error("fault run recorded no service-side rejections")
+	}
+	if res.Table() == "" {
+		t.Error("empty table")
+	}
+}

@@ -214,9 +214,21 @@ func Dial(addr string, verifier *tee.QuoteVerifier, serviceName string) (*Client
 	if err != nil {
 		return nil, fmt.Errorf("gaas: dial: %w", err)
 	}
+	c, err := DialConn(conn, verifier, serviceName)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// DialConn establishes the attested user session over an existing
+// connection — an in-memory pipe, a unix socket, or any other transport
+// that reaches a Glimmer host. The caller retains ownership of conn when
+// the handshake fails.
+func DialConn(conn net.Conn, verifier *tee.QuoteVerifier, serviceName string) (*Client, error) {
 	c := &Client{conn: conn}
 	if err := c.handshake(verifier, serviceName); err != nil {
-		conn.Close()
 		return nil, err
 	}
 	return c, nil

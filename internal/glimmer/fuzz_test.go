@@ -1,0 +1,59 @@
+package glimmer
+
+import (
+	"bytes"
+	"testing"
+
+	"glimmers/internal/fixed"
+	"glimmers/internal/tee"
+)
+
+// fuzzSeedContribution is a structurally valid encoded SignedContribution
+// (the signature bytes are arbitrary — the codec does not verify).
+func fuzzSeedContribution() []byte {
+	sc := SignedContribution{
+		ServiceName: "fuzz.example",
+		Round:       3,
+		Measurement: tee.Measurement{1, 2, 3, 4},
+		Blinded:     fixed.Vector{fixed.FromFloat(0.25), fixed.Ring(1 << 63), 0},
+		Confidence:  77,
+		Signature:   bytes.Repeat([]byte{0x5A}, 64),
+	}
+	return EncodeSignedContribution(sc)
+}
+
+// FuzzDecodeSignedContributionBytes feeds attacker-controlled bytes to the
+// contribution decoder — the first parser every submitted contribution
+// hits on the service's ingest hot path. It must never panic or allocate
+// beyond what the input justifies, and on success the format must be
+// canonical: re-encoding reproduces the input, the recovered signed-bytes
+// slice matches SignedBytes() of the decoded struct, and the round header
+// peek agrees with the full decode.
+func FuzzDecodeSignedContributionBytes(f *testing.F) {
+	f.Add(fuzzSeedContribution())
+	f.Add(EncodeSignedContribution(SignedContribution{}))
+	// Hostile shapes: truncated vector count, absurd lengths, wrong-sized
+	// measurement, trailing junk.
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 2, 0xAA, 0xBB, 0xff, 0xff, 0xff, 0x7f})
+	f.Add(append(fuzzSeedContribution(), 0x00))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, signed, err := DecodeSignedContributionBytes(data)
+		peekRound, peekErr := PeekContributionRound(data)
+		if err != nil {
+			return
+		}
+		if re := EncodeSignedContribution(sc); !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not canonical:\n in: %x\nout: %x", data, re)
+		}
+		if want := sc.SignedBytes(); !bytes.Equal(signed, want) {
+			t.Fatalf("signed bytes mismatch:\n got: %x\nwant: %x", signed, want)
+		}
+		if peekErr != nil {
+			t.Fatalf("full decode succeeded but PeekContributionRound failed: %v", peekErr)
+		}
+		if peekRound != sc.Round {
+			t.Fatalf("peeked round %d != decoded round %d", peekRound, sc.Round)
+		}
+	})
+}

@@ -1,0 +1,108 @@
+package glimmer
+
+import (
+	"bytes"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"glimmers/internal/fixed"
+	"glimmers/internal/tee"
+)
+
+// Golden vectors for the signed-contribution encoding — the one message
+// that crosses the client/service boundary, whose format §4.1 requires to
+// be public and auditable. The fixtures freeze both the transport encoding
+// (EncodeSignedContribution) and the signature preimage (SignedBytes): a
+// refactor that changes either breaks verification between versions, so it
+// must fail here first.
+
+func readGolden(t *testing.T, name string) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := hex.DecodeString(strings.TrimSpace(string(raw)))
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return data
+}
+
+// goldenContribution is the frozen message: every field populated with
+// distinctive values, including a ring element with the top bit set.
+func goldenContribution() SignedContribution {
+	var m tee.Measurement
+	for i := range m {
+		m[i] = byte(i)
+	}
+	sig := make([]byte, 64)
+	for i := range sig {
+		sig[i] = byte(0xA0 ^ i)
+	}
+	return SignedContribution{
+		ServiceName: "golden.example",
+		Round:       7,
+		Measurement: m,
+		Blinded: fixed.Vector{
+			0,
+			1,
+			fixed.FromFloat(0.5),
+			fixed.Ring(1 << 63),
+			fixed.Ring(0xFFFFFFFFFFFFFFFF),
+		},
+		Confidence: 100,
+		Signature:  sig,
+	}
+}
+
+func TestGoldenSignedContribution(t *testing.T) {
+	want := readGolden(t, "signed_contribution.hex")
+	sc := goldenContribution()
+	if got := EncodeSignedContribution(sc); !bytes.Equal(got, want) {
+		t.Fatalf("encoding changed:\n got: %x\nwant: %x", got, want)
+	}
+	dec, signed, err := DecodeSignedContributionBytes(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.ServiceName != sc.ServiceName || dec.Round != sc.Round ||
+		dec.Measurement != sc.Measurement || dec.Confidence != sc.Confidence {
+		t.Fatalf("decoded fields differ: %+v", dec)
+	}
+	if len(dec.Blinded) != len(sc.Blinded) {
+		t.Fatalf("decoded %d elements, want %d", len(dec.Blinded), len(sc.Blinded))
+	}
+	for i := range sc.Blinded {
+		if dec.Blinded[i] != sc.Blinded[i] {
+			t.Errorf("blinded[%d] = %v, want %v", i, dec.Blinded[i], sc.Blinded[i])
+		}
+	}
+	if !bytes.Equal(dec.Signature, sc.Signature) {
+		t.Errorf("signature differs")
+	}
+	wantSigned := readGolden(t, "signed_contribution_preimage.hex")
+	if !bytes.Equal(signed, wantSigned) {
+		t.Fatalf("recovered signature preimage changed:\n got: %x\nwant: %x", signed, wantSigned)
+	}
+}
+
+func TestGoldenSignedBytesPreimage(t *testing.T) {
+	want := readGolden(t, "signed_contribution_preimage.hex")
+	if got := goldenContribution().SignedBytes(); !bytes.Equal(got, want) {
+		t.Fatalf("signature preimage changed:\n got: %x\nwant: %x", got, want)
+	}
+}
+
+func TestGoldenRoundPeek(t *testing.T) {
+	round, err := PeekContributionRound(readGolden(t, "signed_contribution.hex"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round != 7 {
+		t.Fatalf("peeked round %d, want 7", round)
+	}
+}

@@ -1,0 +1,41 @@
+package sim
+
+import "testing"
+
+// BenchmarkSimRound measures end-to-end rounds per second through the real
+// stack: enclave validate→blind→sign for every device, concurrent batch
+// ingest, seal, and invariant checks. One benchmark iteration is one
+// complete aggregation round for the whole fleet.
+func BenchmarkSimRound(b *testing.B) {
+	overlap := 2
+	if b.N < overlap {
+		overlap = b.N
+	}
+	cfg, err := Config{
+		Seed:      99,
+		Devices:   8,
+		Rounds:    b.N,
+		Overlap:   overlap,
+		Dim:       8,
+		Transport: TransportDirect,
+	}.withDefaults()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := newSimulation("bench", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sim.shutdown()
+	b.ResetTimer()
+	rep, err := sim.run()
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !rep.Ok() {
+		b.Fatalf("violations: %v", rep.Violations)
+	}
+	b.ReportMetric(rep.RoundsPerSec(), "rounds/s")
+	b.ReportMetric(rep.RoundsPerSec()*float64(cfg.Devices), "contrib/s")
+}

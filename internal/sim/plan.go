@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"math/rand"
+
+	"glimmers/internal/fixed"
+)
+
+// The planning pass draws every workload decision — honest values, fault
+// roles, injections — from one seeded generator before any concurrency
+// starts. Execution then merely carries the plan out, so the simulated
+// workload (and with it the accept/reject/sum trace) is a pure function of
+// the configuration.
+
+// role is a device's primary behaviour for one round.
+type role int
+
+const (
+	roleHonest role = iota
+	// roleDropout: silent for the round; mask recovered via Shamir.
+	roleDropout
+	// roleByzantine: submits an out-of-range value the Glimmer refuses.
+	roleByzantine
+	// roleCorruptSig: its signed contribution is tampered in flight.
+	roleCorruptSig
+)
+
+// devicePlan is one device's behaviour for one round.
+type devicePlan struct {
+	role role
+	// straggler: the (honest) submission is withheld to race Seal.
+	straggler bool
+	// value is the honest contribution (every element in the predicate's
+	// accepted range). Byzantine devices submit a corrupted copy.
+	value fixed.Vector
+
+	// Injections: extra hostile traffic on top of the primary submission.
+	// Only honest devices inject (a dropout is silent by definition).
+	duplicate   bool
+	replay      bool
+	garbage     []byte // nil = no garbage injection
+	outOfWindow bool
+}
+
+// roundPlan is the fleet's behaviour for one round.
+type roundPlan struct {
+	round uint64
+	// bogusRound is the far-out-of-window round used by outOfWindow
+	// injections during this round's step.
+	bogusRound uint64
+	devices    []devicePlan
+}
+
+type plan struct {
+	rounds []roundPlan
+}
+
+// bogusRoundOffset puts out-of-window submissions far beyond any
+// admission window a simulation would configure.
+const bogusRoundOffset = 1 << 20
+
+func buildPlan(cfg Config) *plan {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := &plan{rounds: make([]roundPlan, cfg.Rounds)}
+	for r := 0; r < cfg.Rounds; r++ {
+		round := uint64(r + 1)
+		rp := roundPlan{
+			round:      round,
+			bogusRound: round + bogusRoundOffset,
+			devices:    make([]devicePlan, cfg.Devices),
+		}
+		for d := 0; d < cfg.Devices; d++ {
+			dp := &rp.devices[d]
+			// Fixed draw order and count per device keeps the stream
+			// aligned no matter which branches are taken.
+			primary := rng.Float64()
+			injDup, injReplay, injGarbage, injWindow := rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()
+			dp.value = fixed.NewVector(cfg.Dim)
+			for i := range dp.value {
+				dp.value[i] = fixed.FromFloat(rng.Float64())
+			}
+			garbage := make([]byte, 24)
+			for i := range garbage {
+				garbage[i] = byte(rng.Intn(256))
+			}
+
+			f := cfg.Faults
+			switch {
+			case primary < f.DropoutRate:
+				dp.role = roleDropout
+			case primary < f.DropoutRate+f.ByzantineRate:
+				dp.role = roleByzantine
+			case primary < f.DropoutRate+f.ByzantineRate+f.CorruptSigRate:
+				dp.role = roleCorruptSig
+			default:
+				dp.role = roleHonest
+			}
+			if dp.role == roleHonest {
+				dp.duplicate = injDup < f.DuplicateRate
+				// Replay needs an accepted contribution in the round that
+				// is sealed during this step; resolved below once all
+				// rounds are drawn.
+				dp.replay = injReplay < f.ReplayRate
+				if injGarbage < f.GarbageRate {
+					dp.garbage = garbage
+				}
+				dp.outOfWindow = injWindow < f.OutOfWindowRate
+			}
+		}
+		// The round-admission window anchors on rounds with at least two
+		// accepted contributions, and dropout recovery needs surviving
+		// honest devices: guarantee two honest, non-straggler devices by
+		// converting excess faults back to honest (deterministically, in
+		// device order).
+		honest := 0
+		for d := range rp.devices {
+			if rp.devices[d].role == roleHonest {
+				honest++
+			}
+		}
+		for d := 0; d < cfg.Devices && honest < 2; d++ {
+			if rp.devices[d].role != roleHonest {
+				rp.devices[d] = devicePlan{role: roleHonest, value: rp.devices[d].value}
+				honest++
+			}
+		}
+		// Stragglers: the highest-indexed honest devices, always leaving
+		// two prompt honest submitters. A straggler races Seal, so it must
+		// not also duplicate (the copy's outcome would depend on the race).
+		stragglers := cfg.Faults.Stragglers
+		for d := cfg.Devices - 1; d >= 0 && stragglers > 0 && honest > 2; d-- {
+			dp := &rp.devices[d]
+			if dp.role == roleHonest {
+				dp.straggler = true
+				dp.duplicate = false
+				stragglers--
+				honest--
+			}
+		}
+		p.rounds[r] = rp
+	}
+	// Resolve replays: a replay at step r re-submits this device's
+	// contribution from round r-Overlap (sealed, not yet closed, during
+	// step r). It only exists if the device submitted promptly and
+	// honestly in that round.
+	for r := range p.rounds {
+		targetIdx := r - cfg.Overlap
+		for d := range p.rounds[r].devices {
+			dp := &p.rounds[r].devices[d]
+			if !dp.replay {
+				continue
+			}
+			if targetIdx < 0 {
+				dp.replay = false
+				continue
+			}
+			src := p.rounds[targetIdx].devices[d]
+			if src.role != roleHonest || src.straggler {
+				dp.replay = false
+			}
+		}
+	}
+	return p
+}
+
+// byzantineValue corrupts an in-range value into one the predicate must
+// refuse: the first element lands far above the unit range.
+func byzantineValue(v fixed.Vector) fixed.Vector {
+	out := v.Clone()
+	out[0] = fixed.FromFloat(42.0)
+	return out
+}

@@ -1,0 +1,563 @@
+package sim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"glimmers/internal/blind"
+	"glimmers/internal/fixed"
+	"glimmers/internal/glimmer"
+	"glimmers/internal/service"
+)
+
+// item is one planned submission with its expected outcome. For
+// deterministic faults the expectation is exact; stragglers carry
+// catStragglerRace and are resolved by observation.
+type item struct {
+	raw    []byte
+	expect string
+	device int
+	// value is the honest contribution carried by the raw bytes; it feeds
+	// the expected exact sum when the submission is accepted.
+	value fixed.Vector
+}
+
+// catStragglerRace marks an item whose outcome depends on the race with
+// Seal: accepted and ErrRoundSealed are both legal.
+const catStragglerRace = "straggler-race"
+
+type simulation struct {
+	name string
+	cfg  Config
+	plan *plan
+	w    *world
+
+	mu sync.Mutex
+	// tallies[r] counts outcomes observed during round r's step (its
+	// cohort, its injections, and its seal-racing stragglers).
+	tallies map[uint64]Tally
+	// expectedSums[r] accumulates the honest values of round r's accepted
+	// contributions — the exact sum the sealed aggregate must equal.
+	expectedSums map[uint64]fixed.Vector
+	// acceptedRaw[r][d] is device d's accepted encoded contribution in
+	// round r, kept for duplicate and replay injections.
+	acceptedRaw map[uint64]map[int][]byte
+	// rejectedStragglers[r] marks devices whose straggling submission
+	// lost the race; their masks need dropout correction.
+	rejectedStragglers map[uint64]map[int]bool
+	// observedRejects counts every service-side refusal the simulator
+	// observed, to reconcile against manager+pipeline counters at the end.
+	observedRejects int
+	violations      []string
+
+	// pending stragglers by round, generated at the round's step and
+	// released when the round seals.
+	stragglers map[uint64][]item
+
+	reports []RoundReport
+}
+
+func newSimulation(name string, cfg Config) (*simulation, error) {
+	if name == "" {
+		name = "sim"
+	}
+	p := buildPlan(cfg)
+	w, err := newWorld(cfg, p)
+	if err != nil {
+		return nil, err
+	}
+	return &simulation{
+		name:               name,
+		cfg:                cfg,
+		plan:               p,
+		w:                  w,
+		tallies:            make(map[uint64]Tally),
+		expectedSums:       make(map[uint64]fixed.Vector),
+		acceptedRaw:        make(map[uint64]map[int][]byte),
+		rejectedStragglers: make(map[uint64]map[int]bool),
+		stragglers:         make(map[uint64][]item),
+	}, nil
+}
+
+func (s *simulation) shutdown() { s.w.shutdown() }
+
+func (s *simulation) violate(format string, args ...any) {
+	s.mu.Lock()
+	s.violations = append(s.violations, fmt.Sprintf(format, args...))
+	s.mu.Unlock()
+}
+
+func (s *simulation) tally(round uint64, cat string, n int) {
+	s.mu.Lock()
+	t, ok := s.tallies[round]
+	if !ok {
+		t = make(Tally)
+		s.tallies[round] = t
+	}
+	t.add(cat, n)
+	s.mu.Unlock()
+}
+
+// recordAccept books one accepted contribution: tally, expected sum, and
+// the raw bytes later injections may duplicate or replay.
+func (s *simulation) recordAccept(round uint64, it item, cat string) {
+	s.mu.Lock()
+	t, ok := s.tallies[round]
+	if !ok {
+		t = make(Tally)
+		s.tallies[round] = t
+	}
+	t.add(cat, 1)
+	sum, ok := s.expectedSums[round]
+	if !ok {
+		sum = fixed.NewVector(s.cfg.Dim)
+		s.expectedSums[round] = sum
+	}
+	sum.AddInPlace(it.value)
+	raws, ok := s.acceptedRaw[round]
+	if !ok {
+		raws = make(map[int][]byte)
+		s.acceptedRaw[round] = raws
+	}
+	raws[it.device] = it.raw
+	s.mu.Unlock()
+}
+
+func (s *simulation) recordReject(round uint64, cat string) {
+	s.mu.Lock()
+	t, ok := s.tallies[round]
+	if !ok {
+		t = make(Tally)
+		s.tallies[round] = t
+	}
+	t.add(cat, 1)
+	s.observedRejects++
+	s.mu.Unlock()
+}
+
+// run drives the plan: for each step r, submit round r's cohort and
+// injections, close round r-Overlap (verifying post-close immutability),
+// and seal round r-Overlap+1 with its stragglers racing the Seal; then
+// drain the remaining open rounds and reconcile the global rejection
+// accounting.
+func (s *simulation) run() (*Report, error) {
+	start := time.Now()
+	overlap := s.cfg.Overlap
+	for r := 1; r <= s.cfg.Rounds; r++ {
+		rp := s.plan.rounds[r-1]
+		wave1, wave2, stragglers, err := s.generate(rp)
+		if err != nil {
+			return nil, err
+		}
+		s.stragglers[rp.round] = stragglers
+		if err := s.submitWave(rp.round, wave1); err != nil {
+			return nil, err
+		}
+		if err := s.submitWave(rp.round, wave2); err != nil {
+			return nil, err
+		}
+		if c := r - overlap; c >= 1 {
+			s.closeRound(uint64(c))
+		}
+		if g := r - overlap + 1; g >= 1 {
+			if err := s.sealRound(uint64(g)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for g := s.cfg.Rounds - overlap + 2; g <= s.cfg.Rounds; g++ {
+		s.closeRound(uint64(g - 1))
+		if err := s.sealRound(uint64(g)); err != nil {
+			return nil, err
+		}
+	}
+	s.closeRound(uint64(s.cfg.Rounds))
+	s.reconcileRejections()
+	elapsed := time.Since(start)
+
+	totals := make(Tally)
+	for _, t := range s.tallies {
+		for cat, n := range t {
+			totals[cat] += n
+		}
+	}
+	return &Report{
+		Scenario:   s.name,
+		Config:     s.cfg,
+		Rounds:     s.reports,
+		Totals:     totals,
+		Elapsed:    elapsed,
+		Transport:  s.cfg.Transport,
+		Violations: s.violations,
+	}, nil
+}
+
+// generate runs every device's client side for one round: the Glimmer
+// validate→blind→sign pipeline for honest, byzantine, and straggling
+// devices, plus the planned hostile injections.
+func (s *simulation) generate(rp roundPlan) (wave1, wave2, stragglers []item, err error) {
+	for d := range rp.devices {
+		dp := &rp.devices[d]
+		dev := s.w.devices[d]
+		switch dp.role {
+		case roleDropout:
+			s.tally(rp.round, CatDropout, 1)
+			continue
+		case roleByzantine:
+			// The predicate must refuse the out-of-range value inside the
+			// enclave; nothing reaches the service.
+			if _, cerr := dev.Contribute(rp.round, byzantineValue(dp.value), nil); !errors.Is(cerr, glimmer.ErrRejected) {
+				s.violate("round %d device %d: byzantine contribution not refused client-side (err=%v)", rp.round, d, cerr)
+				continue
+			}
+			s.tally(rp.round, CatClientRejected, 1)
+			continue
+		}
+		sc, cerr := dev.Contribute(rp.round, dp.value, nil)
+		if cerr != nil {
+			return nil, nil, nil, fmt.Errorf("sim: round %d device %d contribute: %w", rp.round, d, cerr)
+		}
+		raw := glimmer.EncodeSignedContribution(sc)
+		switch {
+		case dp.role == roleCorruptSig:
+			raw[len(raw)-1] ^= 0xFF // flip one signature byte in flight
+			wave1 = append(wave1, item{raw: raw, expect: CatRejectedSig, device: d})
+		case dp.straggler:
+			stragglers = append(stragglers, item{raw: raw, expect: catStragglerRace, device: d, value: dp.value})
+		default:
+			wave1 = append(wave1, item{raw: raw, expect: CatAccepted, device: d, value: dp.value})
+		}
+		if dp.duplicate {
+			wave2 = append(wave2, item{raw: raw, expect: CatRejectedDup, device: d})
+		}
+		if dp.garbage != nil {
+			wave2 = append(wave2, item{raw: dp.garbage, expect: CatRejectedGarbage, device: d})
+		}
+		if dp.outOfWindow {
+			scOOW, oerr := dev.Contribute(rp.bogusRound, dp.value, nil)
+			if oerr != nil {
+				return nil, nil, nil, fmt.Errorf("sim: round %d device %d out-of-window contribute: %w", rp.round, d, oerr)
+			}
+			wave2 = append(wave2, item{raw: glimmer.EncodeSignedContribution(scOOW), expect: CatRejectedWindow, device: d})
+		}
+		if dp.replay {
+			s.mu.Lock()
+			prev := s.acceptedRaw[rp.round-uint64(s.cfg.Overlap)][d]
+			s.mu.Unlock()
+			if prev == nil {
+				s.violate("round %d device %d: planned replay has no accepted source", rp.round, d)
+			} else {
+				wave2 = append(wave2, item{raw: prev, expect: CatRejectedReplay, device: d})
+			}
+		}
+	}
+	return wave1, wave2, stragglers, nil
+}
+
+// submitWave ships items in batches across the transport pool, then
+// reconciles observed outcomes against expectations.
+func (s *simulation) submitWave(round uint64, items []item) error {
+	if len(items) == 0 {
+		return nil
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, (len(items)/s.cfg.BatchSize)+1)
+	for start := 0; start < len(items); start += s.cfg.BatchSize {
+		end := start + s.cfg.BatchSize
+		if end > len(items) {
+			end = len(items)
+		}
+		batch := items[start:end]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.submitBatch(round, batch); err != nil {
+				errCh <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+func (s *simulation) submitBatch(round uint64, batch []item) error {
+	raws := make([][]byte, len(batch))
+	for i, it := range batch {
+		raws[i] = it.raw
+	}
+	accepted, errs, err := s.w.pool.submit(raws)
+	if err != nil {
+		return fmt.Errorf("sim: transport: %w", err)
+	}
+	if errs == nil {
+		// Tally-only transport (gaas): the batch composition is known, so
+		// the accepted count must equal the number of items expected to
+		// be accepted; per-item categories are booked from the plan.
+		want := 0
+		for _, it := range batch {
+			if it.expect == CatAccepted {
+				want++
+			}
+		}
+		if accepted != want {
+			s.violate("round %d: batch tally accepted=%d, plan expects %d", round, accepted, want)
+		}
+		for _, it := range batch {
+			if it.expect == CatAccepted {
+				s.recordAccept(round, it, CatAccepted)
+			} else {
+				s.recordReject(round, it.expect)
+			}
+		}
+		return nil
+	}
+	for i, it := range batch {
+		s.observe(round, it, errs[i])
+	}
+	return nil
+}
+
+// observe books one per-item outcome against its expectation.
+func (s *simulation) observe(round uint64, it item, err error) {
+	want := map[string]error{
+		CatRejectedSig:    service.ErrBadSignature,
+		CatRejectedDup:    service.ErrDuplicate,
+		CatRejectedReplay: service.ErrRoundSealed,
+		CatRejectedWindow: service.ErrRoundOutOfWindow,
+	}
+	switch it.expect {
+	case CatAccepted:
+		if err != nil {
+			s.violate("round %d device %d: expected accept, got %v", round, it.device, err)
+			return
+		}
+		s.recordAccept(round, it, CatAccepted)
+	case CatRejectedGarbage:
+		// Undecodable bytes: any refusal will do, acceptance is the bug.
+		if err == nil {
+			s.violate("round %d device %d: garbage bytes were accepted", round, it.device)
+			return
+		}
+		s.recordReject(round, CatRejectedGarbage)
+	default:
+		if wantErr, ok := want[it.expect]; ok {
+			if !errors.Is(err, wantErr) {
+				s.violate("round %d device %d: expected %s (%v), got %v", round, it.device, it.expect, wantErr, err)
+				if err == nil {
+					return
+				}
+			}
+			s.recordReject(round, it.expect)
+			return
+		}
+		s.violate("round %d device %d: unknown expectation %q", round, it.device, it.expect)
+	}
+}
+
+// sealRound releases the round's stragglers to race Seal, settles the
+// cohort, applies dropout corrections (Shamir recovery for dropouts), and
+// checks the end-of-round invariants.
+func (s *simulation) sealRound(g uint64) error {
+	rp := s.plan.rounds[g-1]
+	var wg sync.WaitGroup
+	for _, it := range s.stragglers[g] {
+		wg.Add(1)
+		go func(it item) {
+			defer wg.Done()
+			s.submitStraggler(g, it)
+		}(it)
+	}
+	if err := s.w.manager.Seal(g); err != nil {
+		s.violate("round %d: seal failed: %v", g, err)
+	}
+	wg.Wait()
+	delete(s.stragglers, g)
+
+	p, ok := s.w.manager.Lookup(g)
+	if !ok {
+		s.violate("round %d: no pipeline after seal", g)
+		return nil
+	}
+	dropoutsRecovered := s.correctAbsentees(g, rp, p)
+	s.checkInvariants(g, p, dropoutsRecovered)
+	return nil
+}
+
+// submitStraggler ships one held-back contribution, racing the caller's
+// Seal. Either outcome is legal; both feed the invariants.
+func (s *simulation) submitStraggler(g uint64, it item) {
+	accepted, errs, err := s.w.pool.submit([][]byte{it.raw})
+	if err != nil {
+		s.violate("round %d straggler %d: transport: %v", g, it.device, err)
+		return
+	}
+	won := false
+	switch {
+	case errs != nil:
+		switch e := errs[0]; {
+		case e == nil:
+			won = true
+		case errors.Is(e, service.ErrRoundSealed):
+		default:
+			s.violate("round %d straggler %d: unexpected refusal %v", g, it.device, e)
+			return
+		}
+	default:
+		won = accepted == 1
+	}
+	if won {
+		s.recordAccept(g, it, CatStragglerAccepted)
+		return
+	}
+	s.recordReject(g, CatStragglerRejected)
+	s.mu.Lock()
+	if s.rejectedStragglers[g] == nil {
+		s.rejectedStragglers[g] = make(map[int]bool)
+	}
+	s.rejectedStragglers[g][it.device] = true
+	s.mu.Unlock()
+}
+
+// correctAbsentees removes the uncancelled dealer masks of every device
+// whose contribution did not enter the sealed aggregate: dropouts (mask
+// reconstructed from Shamir shares, as survivors would), byzantine and
+// tampered devices, and stragglers that lost the race.
+func (s *simulation) correctAbsentees(g uint64, rp roundPlan, p *service.Pipeline) int {
+	s.mu.Lock()
+	lost := s.rejectedStragglers[g]
+	s.mu.Unlock()
+	recovered := 0
+	for d := range rp.devices {
+		dp := &rp.devices[d]
+		var mask fixed.Vector
+		switch {
+		case dp.role == roleDropout:
+			shares := s.w.dropShares[dropKey{g, d}]
+			k := s.cfg.ShamirThreshold
+			rec, err := blind.RecoverSharedMask(shares[:k], k, s.cfg.Dim)
+			if err != nil {
+				s.violate("round %d device %d: shamir recovery: %v", g, d, err)
+				continue
+			}
+			if !vectorsEqual(rec, s.w.masks[g][d]) {
+				s.violate("round %d device %d: shamir-recovered mask differs from dealt mask", g, d)
+			}
+			mask = rec
+			recovered++
+		case dp.role == roleByzantine, dp.role == roleCorruptSig:
+			mask = s.w.masks[g][d]
+		case dp.straggler && lost[d]:
+			mask = s.w.masks[g][d]
+		default:
+			continue
+		}
+		if err := p.CorrectDropout(mask); err != nil {
+			s.violate("round %d device %d: dropout correction refused: %v", g, d, err)
+		}
+	}
+	return recovered
+}
+
+// checkInvariants verifies the sealed round: accepted count matches, and
+// the corrected aggregate equals the exact sum of accepted honest values.
+func (s *simulation) checkInvariants(g uint64, p *service.Pipeline, dropoutsRecovered int) {
+	s.mu.Lock()
+	t := s.tallies[g]
+	if t == nil {
+		t = make(Tally)
+		s.tallies[g] = t
+	}
+	expAccepted := t[CatAccepted] + t[CatStragglerAccepted]
+	expSum := s.expectedSums[g]
+	s.mu.Unlock()
+	if expSum == nil {
+		expSum = fixed.NewVector(s.cfg.Dim)
+	}
+
+	count := p.Count()
+	if count != expAccepted {
+		s.violate("round %d: pipeline count %d != observed accepted %d", g, count, expAccepted)
+	}
+	sum := p.Sum()
+	exact := vectorsEqual(sum, expSum)
+	if !exact {
+		s.violate("round %d: sealed aggregate differs from exact sum of accepted contributions", g)
+	}
+	s.mu.Lock()
+	s.reports = append(s.reports, RoundReport{
+		Round:             g,
+		Accepted:          count,
+		Tally:             t,
+		SumDigest:         sumDigest(sum),
+		Exact:             exact,
+		DropoutsRecovered: dropoutsRecovered,
+	})
+	s.mu.Unlock()
+}
+
+// closeRound closes a sealed round and verifies post-close immutability:
+// dropout correction must be refused and the aggregate must not move.
+func (s *simulation) closeRound(c uint64) {
+	p, ok := s.w.manager.Lookup(c)
+	if !ok {
+		s.violate("round %d: no pipeline to close", c)
+		return
+	}
+	before := sumDigest(p.Sum())
+	s.w.manager.Close(c)
+	junk := fixed.NewVector(s.cfg.Dim)
+	for i := range junk {
+		junk[i] = fixed.FromFloat(1)
+	}
+	if err := p.CorrectDropout(junk); !errors.Is(err, service.ErrRoundClosed) {
+		s.violate("round %d: dropout correction after close returned %v, want ErrRoundClosed", c, err)
+	}
+	if after := sumDigest(p.Sum()); after != before {
+		s.violate("round %d: closed aggregate moved (%s -> %s)", c, before, after)
+	}
+}
+
+// reconcileRejections checks that every observed service-side refusal is
+// accounted for by the manager- and pipeline-level rejection counters.
+func (s *simulation) reconcileRejections() {
+	counted := s.w.manager.Rejected()
+	for _, r := range s.w.manager.Rounds() {
+		if p, ok := s.w.manager.Lookup(r); ok {
+			counted += p.Rejected()
+		}
+	}
+	s.mu.Lock()
+	observed := s.observedRejects
+	s.mu.Unlock()
+	if counted != observed {
+		s.violate("rejection accounting: manager+pipelines counted %d, simulator observed %d", counted, observed)
+	}
+}
+
+func vectorsEqual(a, b fixed.Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sumDigest is a stable 64-bit digest of an aggregate vector for traces.
+func sumDigest(v fixed.Vector) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, r := range v {
+		binary.BigEndian.PutUint64(buf[:], uint64(r))
+		_, _ = h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"glimmers/internal/gaas"
+	"glimmers/internal/service"
+	"glimmers/internal/tee"
+)
+
+// A lane is one submission path to the service. Each lane serializes its
+// own submissions — gaas lanes own a connection whose frame protocol is
+// strictly request/response, and direct lanes match that shape so the
+// Submitters knob bounds concurrent ingest callers identically on every
+// transport. Different lanes proceed in parallel.
+type lane struct {
+	mu sync.Mutex
+	// submit returns per-item errors when the transport can observe them
+	// (direct), or errs == nil for tally-only transports (gaas, whose
+	// submit-batch reply is accepted/rejected counts by design).
+	submit func(batch [][]byte) (accepted int, errs []error, err error)
+	close  func() error
+}
+
+// transportPool fans submissions across lanes round-robin.
+type transportPool struct {
+	lanes []*lane
+	next  atomic.Uint32
+}
+
+func (p *transportPool) submit(batch [][]byte) (int, []error, error) {
+	l := p.lanes[int(p.next.Add(1))%len(p.lanes)]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.submit(batch)
+}
+
+func (p *transportPool) close() {
+	for _, l := range p.lanes {
+		if l.close != nil {
+			_ = l.close()
+		}
+	}
+}
+
+// newDirectPool builds in-process lanes over the manager. The manager is
+// concurrency-safe, but each lane still serializes its own submissions so
+// Submitters bounds the concurrent IngestBatch callers exactly as it
+// bounds gaas connections — the two transports exercise the same
+// concurrency shape.
+func newDirectPool(mgr *service.RoundManager, n int) *transportPool {
+	p := &transportPool{lanes: make([]*lane, n)}
+	for i := range p.lanes {
+		p.lanes[i] = &lane{
+			submit: func(batch [][]byte) (int, []error, error) {
+				accepted, errs := mgr.IngestBatch(batch)
+				return accepted, errs, nil
+			},
+		}
+	}
+	return p
+}
+
+// newGaasPool dials n gaas clients (each with its own attested handshake,
+// like n independent submitting hosts) and wraps them as tally-only lanes.
+func newGaasPool(dial func() (net.Conn, error), verifier *tee.QuoteVerifier, serviceName string, n int) (*transportPool, error) {
+	p := &transportPool{lanes: make([]*lane, 0, n)}
+	for i := 0; i < n; i++ {
+		conn, err := dial()
+		if err != nil {
+			p.close()
+			return nil, err
+		}
+		client, err := gaas.DialConn(conn, verifier, serviceName)
+		if err != nil {
+			conn.Close()
+			p.close()
+			return nil, err
+		}
+		p.lanes = append(p.lanes, &lane{
+			submit: func(batch [][]byte) (int, []error, error) {
+				accepted, _, err := client.SubmitBatch(batch)
+				return accepted, nil, err
+			},
+			close: client.Close,
+		})
+	}
+	return p, nil
+}
+
+// memListener is an in-memory net.Listener over net.Pipe: the gaas frame
+// protocol runs unchanged, with synchronous in-process delivery instead
+// of a kernel socket.
+type memListener struct {
+	conns chan net.Conn
+	done  chan struct{}
+	once  sync.Once
+}
+
+func newMemListener() *memListener {
+	return &memListener{conns: make(chan net.Conn), done: make(chan struct{})}
+}
+
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *memListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+type memAddr struct{}
+
+func (memAddr) Network() string { return "mem" }
+func (memAddr) String() string  { return "mem" }
+
+func (l *memListener) Addr() net.Addr { return memAddr{} }
+
+// dial hands one end of a fresh pipe to the acceptor.
+func (l *memListener) dial() (net.Conn, error) {
+	server, client := net.Pipe()
+	select {
+	case l.conns <- server:
+		return client, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}

@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"fmt"
+	"net"
+
+	"glimmers/internal/blind"
+	"glimmers/internal/fixed"
+	"glimmers/internal/gaas"
+	"glimmers/internal/glimmer"
+	"glimmers/internal/predicate"
+	"glimmers/internal/service"
+	"glimmers/internal/tee"
+)
+
+// dropKey identifies one planned dropout.
+type dropKey struct {
+	round  uint64
+	device int
+}
+
+// world is the assembled deployment: the real attestation root, platform,
+// service, provisioned Glimmer devices, and the round manager — exactly
+// the pieces a production deployment wires together, none of them mocked.
+type world struct {
+	cfg      Config
+	as       *tee.AttestationService
+	platform *tee.Platform
+	svc      *service.Service
+	manager  *service.RoundManager
+	devices  []*glimmer.Device
+
+	// masks[r][i] is device i's dealer mask for round r (real and bogus
+	// rounds alike). The simulator plays the §3 trusted dealer, so it
+	// legitimately knows every mask.
+	masks map[uint64][]fixed.Vector
+	// dropShares holds the Shamir shares of each planned dropout's mask,
+	// distributed at provisioning time as blind.BackupShares would be.
+	dropShares map[dropKey][]blind.Share
+
+	pool     *transportPool
+	server   *gaas.Server
+	listener net.Listener
+}
+
+// admissionWindow is the RoundWindow the simulated service configures:
+// generous enough for the configured overlap, tight enough that the
+// plan's bogus rounds are always refused.
+func admissionWindow(cfg Config) uint64 {
+	return uint64(cfg.Overlap + 2)
+}
+
+func newWorld(cfg Config, p *plan) (*world, error) {
+	as, err := tee.NewAttestationService()
+	if err != nil {
+		return nil, fmt.Errorf("sim: attestation service: %w", err)
+	}
+	platform, err := tee.NewPlatform(as)
+	if err != nil {
+		return nil, fmt.Errorf("sim: platform: %w", err)
+	}
+	svc, err := service.New(cfg.ServiceName, as.Root())
+	if err != nil {
+		return nil, fmt.Errorf("sim: service: %w", err)
+	}
+	if err := svc.SetPredicate(predicate.UnitRangeCheck("unit-range", cfg.Dim)); err != nil {
+		return nil, fmt.Errorf("sim: predicate: %w", err)
+	}
+	w := &world{
+		cfg:        cfg,
+		as:         as,
+		platform:   platform,
+		svc:        svc,
+		masks:      make(map[uint64][]fixed.Vector),
+		dropShares: make(map[dropKey][]blind.Share),
+	}
+	if err := w.dealMasks(p); err != nil {
+		return nil, err
+	}
+	if err := w.provisionFleet(); err != nil {
+		return nil, err
+	}
+	w.manager = service.NewRoundManager(service.PipelineConfig{
+		ServiceName: cfg.ServiceName,
+		Verify:      svc.ContributionVerifyKey(),
+		Dim:         cfg.Dim,
+		Workers:     cfg.Workers,
+		Shards:      cfg.Shards,
+	})
+	// Rounds are closed but never forgotten (a forgotten round could be
+	// re-created by a replayed contribution), so the cap covers them all.
+	w.manager.MaxRounds = cfg.Rounds + 8
+	w.manager.RoundWindow = admissionWindow(cfg)
+	for _, dev := range w.devices {
+		w.manager.Vet(dev.Measurement())
+	}
+	if err := w.openTransports(); err != nil {
+		w.shutdown()
+		return nil, err
+	}
+	return w, nil
+}
+
+// dealMasks draws each round's zero-sum dealer masks (including the bogus
+// rounds out-of-window injections will name) and Shamir-shares the masks
+// of planned dropouts among the other devices.
+func (w *world) dealMasks(p *plan) error {
+	rounds := make([]uint64, 0, 2*len(p.rounds))
+	for _, rp := range p.rounds {
+		rounds = append(rounds, rp.round)
+		for _, dp := range rp.devices {
+			if dp.outOfWindow {
+				rounds = append(rounds, rp.bogusRound)
+				break
+			}
+		}
+	}
+	for _, round := range rounds {
+		seed := fmt.Appendf(nil, "sim/%d/masks/%d", w.cfg.Seed, round)
+		masks, err := blind.ZeroSumMasks(seed, w.cfg.Devices, w.cfg.Dim)
+		if err != nil {
+			return fmt.Errorf("sim: dealer masks for round %d: %w", round, err)
+		}
+		w.masks[round] = masks
+	}
+	for _, rp := range p.rounds {
+		for d, dp := range rp.devices {
+			if dp.role != roleDropout {
+				continue
+			}
+			shares, err := blind.ShareMask(w.masks[rp.round][d], w.cfg.Devices-1, w.cfg.ShamirThreshold)
+			if err != nil {
+				return fmt.Errorf("sim: sharing dropout mask (round %d, device %d): %w", rp.round, d, err)
+			}
+			w.dropShares[dropKey{rp.round, d}] = shares
+		}
+	}
+	return nil
+}
+
+// provisionFleet loads and provisions one Glimmer device per simulated
+// client, delivering each device's masks for every round it may name.
+func (w *world) provisionFleet() error {
+	glimCfg, err := w.svc.GlimmerConfig(w.cfg.Dim, glimmer.ModeDealer, glimmer.DefaultPolicy)
+	if err != nil {
+		return fmt.Errorf("sim: glimmer config: %w", err)
+	}
+	w.devices = make([]*glimmer.Device, w.cfg.Devices)
+	for i := range w.devices {
+		dev, err := glimmer.NewDevice(w.platform, glimCfg)
+		if err != nil {
+			return fmt.Errorf("sim: device %d: %w", i, err)
+		}
+		w.svc.Vet(dev.Measurement())
+		payload, err := w.svc.BasePayload()
+		if err != nil {
+			return err
+		}
+		payload.Masks = make(map[uint64][]uint64, len(w.masks))
+		for round, masks := range w.masks {
+			payload.Masks[round] = glimmer.VectorToBits(masks[i])
+		}
+		if err := w.svc.Provision(dev, payload); err != nil {
+			return fmt.Errorf("sim: provisioning device %d: %w", i, err)
+		}
+		w.devices[i] = dev
+	}
+	return nil
+}
+
+// openTransports builds the submission lanes for the configured
+// transport: in-process manager calls, or gaas clients over net.Pipe or
+// loopback TCP against a server that fronts the same manager (the
+// cmd/glimmerd topology).
+func (w *world) openTransports() error {
+	switch w.cfg.Transport {
+	case TransportDirect:
+		w.pool = newDirectPool(w.manager, w.cfg.Submitters)
+		return nil
+	case TransportPipe, TransportTCP:
+		hostCfg, err := w.svc.GlimmerConfig(w.cfg.Dim, glimmer.ModeNone, glimmer.DefaultPolicy)
+		if err != nil {
+			return err
+		}
+		w.server = gaas.NewServer(w.platform, hostCfg, nil)
+		w.server.SetIngest(w.manager)
+		verifier := &tee.QuoteVerifier{Root: w.as.Root()}
+		verifier.Allow(w.server.Measurement())
+
+		var dial func() (net.Conn, error)
+		if w.cfg.Transport == TransportTCP {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return fmt.Errorf("sim: listen: %w", err)
+			}
+			w.listener = ln
+			addr := ln.Addr().String()
+			dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+		} else {
+			ln := newMemListener()
+			w.listener = ln
+			dial = ln.dial
+		}
+		go func() { _ = w.server.Serve(w.listener) }()
+
+		pool, err := newGaasPool(dial, verifier, w.cfg.ServiceName, w.cfg.Submitters)
+		if err != nil {
+			return err
+		}
+		w.pool = pool
+		return nil
+	}
+	return fmt.Errorf("sim: unknown transport %v", w.cfg.Transport)
+}
+
+func (w *world) shutdown() {
+	if w.pool != nil {
+		w.pool.close()
+	}
+	if w.listener != nil {
+		_ = w.listener.Close()
+	}
+	for _, dev := range w.devices {
+		if dev != nil {
+			dev.Destroy()
+		}
+	}
+}

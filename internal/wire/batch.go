@@ -41,6 +41,13 @@ func DecodeBatch(data []byte) ([][]byte, error) {
 	if n > MaxBatchItems {
 		return nil, fmt.Errorf("%w: %d items", ErrBatchTooLarge, n)
 	}
+	// Each item costs at least a 4-byte length prefix, so a frame too
+	// short to hold n items is refused before the count can amplify into
+	// slice-header allocations (a 4-byte hostile frame must not buy a
+	// MaxBatchItems-capacity slice).
+	if int(n) > r.Remaining()/4 {
+		return nil, fmt.Errorf("wire: batch: %w", ErrTruncated)
+	}
 	items := make([][]byte, 0, n)
 	for i := uint32(0); i < n; i++ {
 		items = append(items, r.Bytes())

@@ -1,0 +1,65 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeBatch feeds attacker-controlled bytes to the batch decoder.
+// DecodeBatch runs on raw network input (the gaas submit-batch body), so
+// it must never panic and never allocate beyond what the input length
+// justifies — every length prefix is bounds-checked before allocation
+// (MaxFieldLen per field, MaxBatchItems per frame, remaining-bytes checks
+// in the reader). On success the encoding must be canonical: re-encoding
+// the decoded items reproduces the input byte for byte.
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add(EncodeBatch(nil))
+	f.Add(EncodeBatch([][]byte{{}}))
+	f.Add(EncodeBatch([][]byte{{1, 2, 3}, {}, {0xff, 0x00}}))
+	f.Add(EncodeBatch([][]byte{bytes.Repeat([]byte{0xAB}, 300)}))
+	// Hostile shapes: oversized item count, a 4-byte frame claiming 65535
+	// items (allocation amplification), truncated field, trailing junk.
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0x00, 0x00, 0xff, 0xff})
+	f.Add([]byte{0, 0, 0, 1, 0xff, 0xff, 0xff, 0xff})
+	f.Add(append(EncodeBatch([][]byte{{1}}), 0x00))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		items, err := DecodeBatch(data)
+		if err != nil {
+			return
+		}
+		if len(items) > MaxBatchItems {
+			t.Fatalf("decoded %d items past MaxBatchItems", len(items))
+		}
+		if re := EncodeBatch(items); !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not canonical:\n in: %x\nout: %x", data, re)
+		}
+	})
+}
+
+// FuzzReader drives the raw field readers over arbitrary bytes in a fixed
+// sequence, checking the sticky-error contract: no panics, and after any
+// failure every subsequent read yields a zero value.
+func FuzzReader(f *testing.F) {
+	f.Add(NewWriter().String("s").Bytes([]byte{1}).Uint64(2).Uint32(3).Byte(4).Bool(true).Uint64s([]uint64{5, 6}).Finish())
+	f.Add([]byte{0, 0, 0, 9, 'x'})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		_ = r.String()
+		r.SkipBytes()
+		r.Uint64()
+		r.Uint64s()
+		r.Uint32()
+		r.Byte()
+		r.Bool()
+		b := r.Bytes()
+		if r.Err() != nil && b != nil {
+			t.Fatalf("read after sticky error returned %x", b)
+		}
+		_ = r.Done()
+		if r.Remaining() < 0 {
+			t.Fatalf("negative remaining")
+		}
+	})
+}
