@@ -1,0 +1,664 @@
+// Command bench runs the repo's canonical performance suite and emits a
+// machine-readable BENCH_<label>.json — the benchmark trajectory artifact
+// this repository tracks across PRs and gates in CI.
+//
+// Usage:
+//
+//	go run ./cmd/bench -label baseline              # writes BENCH_baseline.json
+//	go run ./cmd/bench -benchtime short             # CI-sized workloads
+//	go run ./cmd/bench -run 'ingest' -out /dev/null # subset, no artifact
+//	go run ./cmd/bench -check BENCH_baseline.json   # regression gate
+//
+// The JSON schema ("glimmers/bench/v1") is one object:
+//
+//	{
+//	  "schema":  "glimmers/bench/v1",
+//	  "label":   "baseline",
+//	  "go":      "go1.24.0", "goos": "linux", "goarch": "amd64",
+//	  "num_cpu": 8, "gomaxprocs": 8, "benchtime": "full",
+//	  "results": [{
+//	    "name": "ingest_serial", "iterations": 25,
+//	    "ns_per_op": 4.1e7, "bytes_per_op": 123, "allocs_per_op": 4,
+//	    "alloc_gated": false,
+//	    "metrics": {"contrib_per_sec": 12345.6}
+//	  }, ...]
+//	}
+//
+// Results with "alloc_gated": true form the zero/low-allocation contract
+// on the ingest decode path; -check compares the current run against a
+// committed baseline and fails (exit 1) when any gated allocs/op figure
+// regresses by more than 25%. Timing figures are never gated — they vary
+// with the machine — but they are recorded so the trajectory across PRs
+// stays visible.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"glimmers/internal/fixed"
+	"glimmers/internal/gaas"
+	"glimmers/internal/glimmer"
+	"glimmers/internal/predicate"
+	"glimmers/internal/service"
+	"glimmers/internal/sim"
+	"glimmers/internal/tee"
+	"glimmers/internal/xcrypto"
+)
+
+const schema = "glimmers/bench/v1"
+
+type result struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	AllocGated  bool               `json:"alloc_gated,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type report struct {
+	Schema     string   `json:"schema"`
+	Label      string   `json:"label"`
+	Go         string   `json:"go"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	BenchTime  string   `json:"benchtime"`
+	Results    []result `json:"results"`
+}
+
+// sizes parameterize the workloads; "short" keeps the CI smoke run under a
+// minute on one core.
+type sizes struct {
+	dim         int // contribution dimension for codec + ingest benches
+	cohort      int // contributions per ingest cohort
+	batchRounds int // pre-generated rounds for the submit-batch benches
+	batchItems  int // items per submit-batch frame
+	dedupPool   int // distinct contributions for the decode+dedup bench
+	simRounds   int
+	simDevices  int
+}
+
+func sizesFor(mode string) sizes {
+	if mode == "short" {
+		return sizes{dim: 64, cohort: 64, batchRounds: 8, batchItems: 32, dedupPool: 2048, simRounds: 2, simDevices: 6}
+	}
+	return sizes{dim: 256, cohort: 512, batchRounds: 16, batchItems: 128, dedupPool: 8192, simRounds: 8, simDevices: 8}
+}
+
+func main() {
+	label := flag.String("label", "local", "label recorded in the artifact (and its default filename)")
+	out := flag.String("out", "", "output path (default BENCH_<label>.json; empty string after default suppresses nothing, use /dev/null)")
+	benchtime := flag.String("benchtime", "full", "workload scale: full or short")
+	runPat := flag.String("run", "", "regexp selecting which benchmarks run")
+	check := flag.String("check", "", "baseline BENCH_*.json to gate allocs/op regressions against (>25% fails)")
+	flag.Parse()
+	if *benchtime != "full" && *benchtime != "short" {
+		fmt.Fprintf(os.Stderr, "bench: -benchtime must be full or short, got %q\n", *benchtime)
+		os.Exit(2)
+	}
+	if *out == "" {
+		*out = "BENCH_" + *label + ".json"
+	}
+	var filter *regexp.Regexp
+	if *runPat != "" {
+		var err error
+		if filter, err = regexp.Compile(*runPat); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: bad -run pattern: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	rep := report{
+		Schema:     schema,
+		Label:      *label,
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		BenchTime:  *benchtime,
+	}
+	sz := sizesFor(*benchtime)
+	for _, entry := range suite(sz) {
+		if filter != nil && !filter.MatchString(entry.name) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %-22s ", entry.name)
+		res := entry.run()
+		res.Name = entry.name
+		res.AllocGated = entry.allocGated
+		rep.Results = append(rep.Results, res)
+		fmt.Fprintf(os.Stderr, "%12.0f ns/op %8d B/op %6d allocs/op%s\n",
+			res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, metricsSummary(res.Metrics))
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: encode report: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d results)\n", *out, len(rep.Results))
+
+	if *check != "" {
+		if err := gate(rep, *check, filter != nil); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: REGRESSION: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "alloc gate: OK (within 25% of baseline)")
+	}
+}
+
+func metricsSummary(m map[string]float64) string {
+	s := ""
+	for k, v := range m {
+		s += fmt.Sprintf("  %s=%.1f", k, v)
+	}
+	return s
+}
+
+// gate fails when any alloc-gated result regressed >25% over the baseline.
+// Only allocs/op is gated: allocation counts are deterministic per
+// toolchain, while timings vary with the machine running the suite.
+// Unless the run was filtered (-run), a gated baseline entry with no
+// matching current result also fails: renaming or dropping a gated
+// benchmark must not silently disable its contract.
+func gate(cur report, baselinePath string, filtered bool) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline: %w", err)
+	}
+	if base.Schema != schema {
+		return fmt.Errorf("baseline schema %q, want %q", base.Schema, schema)
+	}
+	baseByName := make(map[string]result, len(base.Results))
+	for _, r := range base.Results {
+		baseByName[r.Name] = r
+	}
+	curByName := make(map[string]result, len(cur.Results))
+	for _, r := range cur.Results {
+		curByName[r.Name] = r
+	}
+	var failures []string
+	if !filtered {
+		for _, b := range base.Results {
+			if b.AllocGated {
+				if _, ok := curByName[b.Name]; !ok {
+					failures = append(failures,
+						fmt.Sprintf("%s: gated in baseline but missing from this run", b.Name))
+				}
+			}
+		}
+	}
+	for _, r := range cur.Results {
+		if !r.AllocGated {
+			continue
+		}
+		b, ok := baseByName[r.Name]
+		if !ok {
+			continue // new benchmark: nothing to regress against
+		}
+		// ceil(base*1.25) keeps small-integer baselines meaningful: a
+		// baseline of 0 allows only 0, a baseline of 4 allows 5.
+		limit := b.AllocsPerOp + (b.AllocsPerOp+3)/4
+		if r.AllocsPerOp > limit {
+			failures = append(failures,
+				fmt.Sprintf("%s: %d allocs/op vs baseline %d (limit %d)", r.Name, r.AllocsPerOp, b.AllocsPerOp, limit))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d gated benchmark(s) regressed:\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+type benchEntry struct {
+	name       string
+	allocGated bool
+	run        func() result
+}
+
+// fromBench converts a testing.BenchmarkResult.
+func fromBench(br testing.BenchmarkResult) result {
+	res := result{
+		Iterations:  br.N,
+		NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+		AllocsPerOp: br.AllocsPerOp(),
+	}
+	if len(br.Extra) > 0 {
+		res.Metrics = make(map[string]float64, len(br.Extra))
+		for k, v := range br.Extra {
+			res.Metrics[k] = v
+		}
+	}
+	return res
+}
+
+// makeRaws fabricates n encoded contributions for round with distinct
+// vectors (distinct dedup digests); key == nil leaves them unsigned for
+// the pre-authenticated benches.
+func makeRaws(n, dim int, round uint64, serviceName string, key *xcrypto.SigningKey) [][]byte {
+	raws := make([][]byte, n)
+	for i := range raws {
+		sc := glimmer.SignedContribution{
+			ServiceName: serviceName,
+			Round:       round,
+			Measurement: tee.Measurement{1},
+			Blinded:     make(fixed.Vector, dim),
+			Confidence:  1,
+		}
+		for j := range sc.Blinded {
+			sc.Blinded[j] = fixed.Ring(uint64(i)*1000003 + round*31 + uint64(j))
+		}
+		if key != nil {
+			sig, err := key.Sign(sc.SignedBytes())
+			if err != nil {
+				fatal(err)
+			}
+			sc.Signature = sig
+		}
+		raws[i] = glimmer.EncodeSignedContribution(sc)
+	}
+	return raws
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+	os.Exit(1)
+}
+
+func suite(sz sizes) []benchEntry {
+	const serviceName = "bench.example"
+	key, err := xcrypto.NewSigningKey()
+	if err != nil {
+		fatal(err)
+	}
+
+	return []benchEntry{
+		{name: "codec_encode_signed", run: func() result {
+			sc, err := glimmer.DecodeSignedContribution(makeRaws(1, sz.dim, 1, serviceName, key)[0])
+			if err != nil {
+				fatal(err)
+			}
+			return fromBench(testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if len(glimmer.EncodeSignedContribution(sc)) == 0 {
+						fatal(fmt.Errorf("empty encoding"))
+					}
+				}
+			}))
+		}},
+
+		{name: "codec_decode_signed", run: func() result {
+			raw := makeRaws(1, sz.dim, 1, serviceName, key)[0]
+			return fromBench(testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := glimmer.DecodeSignedContributionBytes(raw); err != nil {
+						fatal(err)
+					}
+				}
+			}))
+		}},
+
+		{name: "decode_signed_scratch", allocGated: true, run: func() result {
+			raws := makeRaws(64, sz.dim, 1, serviceName, key)
+			var s glimmer.ContributionScratch
+			return fromBench(testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Decode(raws[i%len(raws)]); err != nil {
+						fatal(err)
+					}
+				}
+			}))
+		}},
+
+		{name: "peek_round", allocGated: true, run: func() result {
+			raw := makeRaws(1, sz.dim, 9, serviceName, key)[0]
+			return fromBench(testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					round, err := glimmer.PeekContributionRound(raw)
+					if err != nil || round != 9 {
+						fatal(fmt.Errorf("round=%d err=%v", round, err))
+					}
+				}
+			}))
+		}},
+
+		{name: "ingest_decode_dedup", allocGated: true, run: func() result {
+			// The steady-state decode→dedup→accumulate path in isolation:
+			// signature verification disabled (nil Verify), dedup maps
+			// pre-sized. This is the path the tentpole drives to zero
+			// allocations.
+			raws := makeRaws(sz.dedupPool, 64, 3, serviceName, nil)
+			newPipe := func() *service.Pipeline {
+				return service.NewPipeline(service.PipelineConfig{
+					ServiceName:    serviceName,
+					Dim:            64,
+					Round:          3,
+					Workers:        1,
+					Shards:         1,
+					ExpectedCohort: sz.dedupPool,
+				})
+			}
+			return fromBench(testing.Benchmark(func(b *testing.B) {
+				p := newPipe()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if i%len(raws) == 0 && i > 0 {
+						b.StopTimer()
+						p.Close()
+						p = newPipe()
+						b.StartTimer()
+					}
+					if err := p.Add(raws[i%len(raws)]); err != nil {
+						fatal(err)
+					}
+				}
+				b.StopTimer()
+				p.Close()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "contrib_per_sec")
+			}))
+		}},
+
+		{name: "ingest_serial", run: func() result {
+			return fromBench(benchIngest(sz, serviceName, key, 1, 1))
+		}},
+
+		{name: "ingest_parallel", run: func() result {
+			return fromBench(benchIngest(sz, serviceName, key, runtime.GOMAXPROCS(0), 0))
+		}},
+
+		{name: "submit_batch_inproc", run: func() result {
+			batches := batchesByRound(sz, serviceName, key)
+			newMgr := func() *service.RoundManager {
+				return service.NewRoundManager(service.PipelineConfig{
+					ServiceName:    serviceName,
+					Verify:         key.Public(),
+					Dim:            sz.dim,
+					ExpectedCohort: sz.batchItems,
+				})
+			}
+			return fromBench(testing.Benchmark(func(b *testing.B) {
+				mgr := newMgr()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if i%len(batches) == 0 {
+						b.StopTimer()
+						for r := range batches {
+							mgr.Forget(uint64(r) + 1)
+						}
+						b.StartTimer()
+					}
+					accepted, _ := mgr.IngestBatch(batches[i%len(batches)])
+					if accepted != sz.batchItems {
+						fatal(fmt.Errorf("accepted %d of %d", accepted, sz.batchItems))
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.N*sz.batchItems)/b.Elapsed().Seconds(), "contrib_per_sec")
+			}))
+		}},
+
+		{name: "submit_batch_pipe", run: func() result {
+			return fromBench(benchSubmitTransport(sz, serviceName, key, false))
+		}},
+
+		{name: "submit_batch_tcp", run: func() result {
+			return fromBench(benchSubmitTransport(sz, serviceName, key, true))
+		}},
+
+		{name: "sim_round", run: func() result {
+			rep, err := sim.Scenario{
+				Name: "bench",
+				Config: sim.Config{
+					Seed:      99,
+					Devices:   sz.simDevices,
+					Rounds:    sz.simRounds,
+					Overlap:   2,
+					Dim:       8,
+					Transport: sim.TransportDirect,
+				},
+			}.Run()
+			if err != nil {
+				fatal(err)
+			}
+			if !rep.Ok() {
+				fatal(fmt.Errorf("sim violations: %v", rep.Violations))
+			}
+			perRound := rep.Elapsed / time.Duration(sz.simRounds)
+			return result{
+				Iterations: sz.simRounds,
+				NsPerOp:    float64(perRound.Nanoseconds()),
+				Metrics: map[string]float64{
+					"rounds_per_sec":  rep.RoundsPerSec(),
+					"contrib_per_sec": rep.RoundsPerSec() * float64(sz.simDevices),
+				},
+			}
+		}},
+	}
+}
+
+// benchIngest mirrors BenchmarkAggregatorIngest: one op is one full cohort
+// through a fresh pipeline (construction included, as since PR 1), so the
+// serial and parallel figures in one artifact are directly comparable.
+func benchIngest(sz sizes, serviceName string, key *xcrypto.SigningKey, workers, shards int) testing.BenchmarkResult {
+	raws := makeRaws(sz.cohort, sz.dim, 7, serviceName, key)
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := service.NewPipeline(service.PipelineConfig{
+				ServiceName:    serviceName,
+				Verify:         key.Public(),
+				Dim:            sz.dim,
+				Round:          7,
+				Workers:        workers,
+				Shards:         shards,
+				ExpectedCohort: sz.cohort,
+			})
+			for _, err := range p.AddBatch(raws) {
+				if err != nil {
+					fatal(err)
+				}
+			}
+			if err := p.Seal(); err != nil {
+				fatal(err)
+			}
+			if p.Count() != sz.cohort {
+				fatal(fmt.Errorf("count = %d, want %d", p.Count(), sz.cohort))
+			}
+			p.Close()
+		}
+		b.ReportMetric(float64(sz.cohort*b.N)/b.Elapsed().Seconds(), "contrib_per_sec")
+	})
+}
+
+func batchesByRound(sz sizes, serviceName string, key *xcrypto.SigningKey) [][][]byte {
+	batches := make([][][]byte, sz.batchRounds)
+	for r := range batches {
+		batches[r] = makeRaws(sz.batchItems, sz.dim, uint64(r)+1, serviceName, key)
+	}
+	return batches
+}
+
+// pipeListener adapts net.Pipe to net.Listener so the gaas server can host
+// the in-memory transport.
+type pipeListener struct {
+	conns  chan net.Conn
+	closed chan struct{}
+}
+
+func newPipeListener() *pipeListener {
+	return &pipeListener{conns: make(chan net.Conn), closed: make(chan struct{})}
+}
+
+func (l *pipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *pipeListener) Close() error {
+	select {
+	case <-l.closed:
+	default:
+		close(l.closed)
+	}
+	return nil
+}
+
+func (l *pipeListener) Addr() net.Addr { return pipeAddr{} }
+
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "pipe" }
+func (pipeAddr) String() string  { return "pipe" }
+
+func (l *pipeListener) dial() (net.Conn, error) {
+	client, server := net.Pipe()
+	select {
+	case l.conns <- server:
+		return client, nil
+	case <-l.closed:
+		client.Close()
+		return nil, net.ErrClosed
+	}
+}
+
+// benchSubmitTransport measures Client.SubmitBatch through the full gaas
+// stack — attested handshake once, then batches through the frame protocol
+// — over an in-memory pipe or loopback TCP.
+func benchSubmitTransport(sz sizes, serviceName string, key *xcrypto.SigningKey, tcp bool) testing.BenchmarkResult {
+	tb, err := newBenchWorld(serviceName, sz.dim)
+	if err != nil {
+		fatal(err)
+	}
+	mgr := service.NewRoundManager(service.PipelineConfig{
+		ServiceName:    serviceName,
+		Verify:         key.Public(),
+		Dim:            sz.dim,
+		ExpectedCohort: sz.batchItems,
+	})
+	tb.server.SetIngest(mgr)
+
+	verifier := &tee.QuoteVerifier{Root: tb.as.Root()}
+	verifier.Allow(tb.server.Measurement())
+
+	var client *gaas.Client
+	var cleanup func()
+	if tcp {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		go func() { _ = tb.server.Serve(ln) }()
+		if client, err = gaas.Dial(ln.Addr().String(), verifier, serviceName); err != nil {
+			fatal(err)
+		}
+		cleanup = func() { client.Close(); ln.Close() }
+	} else {
+		ln := newPipeListener()
+		go func() { _ = tb.server.Serve(ln) }()
+		conn, err := ln.dial()
+		if err != nil {
+			fatal(err)
+		}
+		if client, err = gaas.DialConn(conn, verifier, serviceName); err != nil {
+			fatal(err)
+		}
+		cleanup = func() { client.Close(); ln.Close() }
+	}
+	defer cleanup()
+
+	batches := batchesByRound(sz, serviceName, key)
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%len(batches) == 0 {
+				b.StopTimer()
+				for r := range batches {
+					mgr.Forget(uint64(r) + 1)
+				}
+				b.StartTimer()
+			}
+			accepted, rejected, err := client.SubmitBatch(batches[i%len(batches)])
+			if err != nil {
+				fatal(err)
+			}
+			if accepted != sz.batchItems || rejected != 0 {
+				fatal(fmt.Errorf("submit = (%d, %d), want (%d, 0)", accepted, rejected, sz.batchItems))
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N*sz.batchItems)/b.Elapsed().Seconds(), "contrib_per_sec")
+	})
+}
+
+type benchWorld struct {
+	as     *tee.AttestationService
+	server *gaas.Server
+}
+
+// newBenchWorld assembles the attested gaas hosting stack: attestation
+// service, platform, cloud service, and a Glimmer host that provisions a
+// fresh enclave per connection.
+func newBenchWorld(serviceName string, dim int) (*benchWorld, error) {
+	as, err := tee.NewAttestationService()
+	if err != nil {
+		return nil, err
+	}
+	platform, err := tee.NewPlatform(as)
+	if err != nil {
+		return nil, err
+	}
+	svc, err := service.New(serviceName, as.Root())
+	if err != nil {
+		return nil, err
+	}
+	if err := svc.SetPredicate(predicate.UnitRangeCheck("range", dim)); err != nil {
+		return nil, err
+	}
+	cfg, err := svc.GlimmerConfig(dim, glimmer.ModeNone, glimmer.DefaultPolicy)
+	if err != nil {
+		return nil, err
+	}
+	server := gaas.NewServer(platform, cfg, func(dev *glimmer.Device) error {
+		payload, err := svc.BasePayload()
+		if err != nil {
+			return err
+		}
+		return svc.Provision(dev, payload)
+	})
+	svc.Vet(server.Measurement())
+	return &benchWorld{as: as, server: server}, nil
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 
 	"glimmers/internal/attest"
 	"glimmers/internal/fixed"
@@ -40,44 +41,113 @@ const (
 // Frame I/O: u32 big-endian length prefix, then a wire message of
 // {command/status, body}.
 
-func writeFrame(w io.Writer, tag string, body []byte) error {
-	payload := wire.NewWriter().String(tag).Bytes(body).Finish()
-	var lenBuf [4]byte
-	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)))
-	if _, err := w.Write(lenBuf[:]); err != nil {
-		return fmt.Errorf("gaas: write frame: %w", err)
+// frameBufPool recycles frame encode buffers so the per-frame hot path
+// (server replies, batch submits) allocates nothing at steady state.
+// Oversized buffers are not returned to the pool, so one giant batch frame
+// cannot pin megabytes for the lifetime of the process.
+var frameBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// maxPooledFrame caps what goes back into frameBufPool.
+const maxPooledFrame = 1 << 20
+
+func putFrameBuf(bufp *[]byte) {
+	if cap(*bufp) <= maxPooledFrame {
+		frameBufPool.Put(bufp)
 	}
-	if _, err := w.Write(payload); err != nil {
+}
+
+// appendFrameHeader appends the frame length prefix and the tag field for
+// a frame whose body will be bodyLen bytes. The caller appends the body's
+// length prefix and content (or uses appendFrame for the common case).
+func appendFrameHeader(dst []byte, tag string, bodyLen int) []byte {
+	payloadLen := 4 + len(tag) + 4 + bodyLen
+	dst = binary.BigEndian.AppendUint32(dst, uint32(payloadLen))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(tag)))
+	dst = append(dst, tag...)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(bodyLen))
+	return dst
+}
+
+// appendFrame appends a complete encoded frame — identical bytes to the
+// original two-write encoding, but built in one pass so the transport
+// issues a single Write per frame.
+func appendFrame(dst []byte, tag string, body []byte) []byte {
+	dst = appendFrameHeader(dst, tag, len(body))
+	return append(dst, body...)
+}
+
+func writeFrame(w io.Writer, tag string, body []byte) error {
+	bufp := frameBufPool.Get().(*[]byte)
+	buf := appendFrame((*bufp)[:0], tag, body)
+	_, err := w.Write(buf)
+	*bufp = buf[:0]
+	putFrameBuf(bufp)
+	if err != nil {
 		return fmt.Errorf("gaas: write frame: %w", err)
 	}
 	return nil
 }
 
-func readFrame(r io.Reader) (string, []byte, error) {
+// readFrameInto reads one frame into buf, growing it only when the frame
+// exceeds its capacity, and returns the tag and body as views into it plus
+// the (possibly grown) buffer for the next call. The views are valid until
+// buf's next reuse — per-connection loops own their buffer, so a frame's
+// views live exactly until the next frame is read.
+func readFrameInto(r io.Reader, buf []byte) (tag, body, next []byte, err error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return "", nil, err
+		return nil, nil, buf, err
 	}
 	n := binary.BigEndian.Uint32(lenBuf[:])
 	if n > MaxFrame {
-		return "", nil, fmt.Errorf("gaas: frame of %d bytes exceeds limit", n)
+		return nil, nil, buf, fmt.Errorf("gaas: frame of %d bytes exceeds limit", n)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return "", nil, fmt.Errorf("gaas: read frame: %w", err)
+	// Shrink before growing past need: one giant frame must not pin a
+	// MaxFrame-sized buffer for the connection's lifetime once traffic
+	// returns to normal (the same discipline maxPooledFrame applies to the
+	// encode pool). The previous frame's views are dead by the time the
+	// next read starts, so replacing the buffer here is safe.
+	if cap(buf) < int(n) || (cap(buf) > maxPooledFrame && int(n) <= maxPooledFrame) {
+		// 25% headroom so a stream of slowly growing frames amortizes
+		// instead of reallocating on every new size maximum.
+		buf = make([]byte, n, int(n)+int(n)/4)
+	} else {
+		buf = buf[:n]
 	}
-	wr := wire.NewReader(payload)
-	tag := wr.String()
-	body := wr.Bytes()
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, nil, buf, fmt.Errorf("gaas: read frame: %w", err)
+	}
+	var wr wire.Reader
+	wr.Reset(buf)
+	tag = wr.BytesView()
+	body = wr.BytesView()
 	if err := wr.Done(); err != nil {
-		return "", nil, fmt.Errorf("gaas: frame payload: %w", err)
+		return nil, nil, buf, fmt.Errorf("gaas: frame payload: %w", err)
 	}
-	return tag, body, nil
+	return tag, body, buf, nil
+}
+
+// readFrame reads one frame into fresh memory; callers that retain the
+// body (client handshakes) use this instead of readFrameInto.
+func readFrame(r io.Reader) (string, []byte, error) {
+	tag, body, _, err := readFrameInto(r, nil)
+	if err != nil {
+		return "", nil, err
+	}
+	return string(tag), body, nil
 }
 
 // Ingestor accepts batches of encoded signed contributions and reports
 // how many were accepted, with one error slot per input.
 // service.RoundManager satisfies it.
+//
+// IngestBatch must not retain any raws slice after it returns: the server
+// hands it views into a per-connection frame buffer that is reused for the
+// next frame (service.RoundManager copies everything it keeps, so it
+// qualifies).
 type Ingestor interface {
 	IngestBatch(raws [][]byte) (accepted int, errs []error)
 }
@@ -141,13 +211,21 @@ func (s *Server) handleConn(conn net.Conn) {
 			return
 		}
 	}
+	// The connection loop owns one frame buffer and one batch-header
+	// scratch: frames are read into the buffer in place, command bodies are
+	// views into it, and both live exactly until the next frame. Handlers
+	// must not retain the body (the enclave boundary copies its inputs;
+	// Ingestor documents the same rule).
+	var readBuf []byte
+	var batchScratch [][]byte
 	for {
-		cmd, body, err := readFrame(conn)
+		cmd, body, buf, err := readFrameInto(conn, readBuf)
+		readBuf = buf
 		if err != nil {
 			return // disconnect
 		}
 		var out []byte
-		switch cmd {
+		switch string(cmd) {
 		case cmdUserHello:
 			out, err = dev.UserHello()
 		case cmdUserComplete:
@@ -155,7 +233,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		case cmdUserContribute:
 			out, err = dev.UserContribute(body)
 		case cmdSubmitBatch:
-			out, err = s.handleSubmitBatch(body)
+			out, batchScratch, err = s.handleSubmitBatch(body, batchScratch)
 		default:
 			err = fmt.Errorf("unknown command %q", cmd)
 		}
@@ -173,23 +251,28 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
-// handleSubmitBatch decodes a batch frame, hands it to the ingest
-// pipeline, and encodes the accepted/rejected tallies.
-func (s *Server) handleSubmitBatch(body []byte) ([]byte, error) {
+// handleSubmitBatch decodes a batch frame without copying (the items are
+// views into the connection's frame buffer, valid for exactly as long as
+// the blocking IngestBatch call below), hands it to the ingest pipeline,
+// and encodes the accepted/rejected tallies. The item-header scratch is
+// threaded back to the caller for reuse on the next batch.
+func (s *Server) handleSubmitBatch(body []byte, scratch [][]byte) ([]byte, [][]byte, error) {
 	if s.ingest == nil {
-		return nil, errors.New("server does not accept contribution batches")
+		return nil, scratch, errors.New("server does not accept contribution batches")
 	}
-	items, err := wire.DecodeBatch(body)
+	items, err := wire.DecodeBatchInto(body, scratch)
 	if err != nil {
-		return nil, err
+		return nil, scratch, err
 	}
 	// Per-item errors stay server-side: the reply is tallies only, so the
 	// frame stays O(1) regardless of batch size.
 	accepted, _ := s.ingest.IngestBatch(items)
-	return wire.NewWriter().
-		Uint32(uint32(accepted)).
-		Uint32(uint32(len(items) - accepted)).
-		Finish(), nil
+	reply := binary.BigEndian.AppendUint32(make([]byte, 0, 8), uint32(accepted))
+	reply = binary.BigEndian.AppendUint32(reply, uint32(len(items)-accepted))
+	// Drop the item views before recycling the scratch: stale headers
+	// would otherwise keep the (possibly replaced) frame buffer alive.
+	clear(items)
+	return reply, items[:0], nil
 }
 
 // Client is an IoT device using a remote Glimmer. It has no TEE of its
@@ -238,6 +321,13 @@ func (c *Client) roundTrip(cmd string, body []byte) ([]byte, error) {
 	if err := writeFrame(c.conn, cmd, body); err != nil {
 		return nil, err
 	}
+	return c.readReply()
+}
+
+// readReply reads one response frame and maps a non-ok status to
+// ErrRemote — the shared reply tail for roundTrip and SubmitBatch (which
+// writes its request through the pooled encode-once path instead).
+func (c *Client) readReply() ([]byte, error) {
 	status, out, err := readFrame(c.conn)
 	if err != nil {
 		return nil, err
@@ -305,6 +395,14 @@ var ErrBatchTooLarge = errors.New("gaas: batch exceeds frame limit")
 // pipeline in one round trip and returns the server's accepted/rejected
 // tallies. The host must have ingest enabled (gaas servers co-located with
 // the service, like cmd/glimmerd).
+//
+// The batch frame is encoded exactly once, directly into a pooled buffer,
+// and written in a single call. Earlier versions encoded the batch body
+// and then re-encoded it inside the frame wrapper — twice the bytes, twice
+// the copies — and paid that full cost again just to discover the frame
+// was oversized before a split-and-retry. The size check is now arithmetic
+// (wire.EncodedBatchSize), so the retryable ErrBatchTooLarge path encodes
+// nothing at all.
 func (c *Client) SubmitBatch(raws [][]byte) (accepted, rejected int, err error) {
 	// Check the protocol limits client-side: the server rejects an
 	// oversized frame by dropping the connection (losing the session with
@@ -314,15 +412,25 @@ func (c *Client) SubmitBatch(raws [][]byte) (accepted, rejected int, err error) 
 	if len(raws) > wire.MaxBatchItems {
 		return 0, 0, fmt.Errorf("%w: %d items", ErrBatchTooLarge, len(raws))
 	}
-	body := wire.EncodeBatch(raws)
-	if len(body) > MaxFrame-64 {
-		return 0, 0, fmt.Errorf("%w: %d bytes", ErrBatchTooLarge, len(body))
+	batchSize := wire.EncodedBatchSize(raws)
+	if batchSize > MaxFrame-64 {
+		return 0, 0, fmt.Errorf("%w: %d bytes", ErrBatchTooLarge, batchSize)
 	}
-	reply, err := c.roundTrip(cmdSubmitBatch, body)
+	bufp := frameBufPool.Get().(*[]byte)
+	buf := appendFrameHeader((*bufp)[:0], cmdSubmitBatch, batchSize)
+	buf = wire.AppendBatch(buf, raws)
+	_, err = c.conn.Write(buf)
+	*bufp = buf[:0]
+	putFrameBuf(bufp)
+	if err != nil {
+		return 0, 0, fmt.Errorf("gaas: write frame: %w", err)
+	}
+	reply, err := c.readReply()
 	if err != nil {
 		return 0, 0, err
 	}
-	r := wire.NewReader(reply)
+	var r wire.Reader
+	r.Reset(reply)
 	accepted = int(r.Uint32())
 	rejected = int(r.Uint32())
 	if err := r.Done(); err != nil {

@@ -200,48 +200,91 @@ func DecodeSignedContribution(data []byte) (SignedContribution, error) {
 // writes before the encoded fields.
 var signedContributionHeader = wire.NewWriter().String("glimmers/contribution/v1").Finish()
 
-// DecodeSignedContributionBytes decodes data and additionally returns the
-// exact byte string the signature covers. The encoded message and the
-// signed string share every field up to the signature, so the signed bytes
-// are recovered by slicing the input instead of re-encoding the decoded
-// struct — the aggregation hot path verifies thousands of contributions
-// per second and must not rebuild each one.
-func DecodeSignedContributionBytes(data []byte) (SignedContribution, []byte, error) {
-	r := wire.NewReader(data)
-	sc := SignedContribution{
-		ServiceName: r.String(),
-		Round:       r.Uint64(),
+// ContributionScratch is the reusable decode state for the per-contribution
+// ingest hot path. One scratch decodes a stream of contributions without
+// heap allocation at steady state: the vector, the signed-bytes buffer, and
+// the service-name string are all reused across calls (the name allocates
+// only when it actually changes, which on a single service's ingest path is
+// never). Pipelines pool scratches; a scratch must not be shared between
+// goroutines concurrently.
+type ContributionScratch struct {
+	// SC is the most recently decoded contribution. After a successful
+	// Decode, SC.Signature aliases the decode input and SC.Blinded aliases
+	// the scratch: both are valid only until the next Decode and only while
+	// the input buffer lives. Callers that retain fields must copy them.
+	// After a failed Decode the contents of SC are unspecified.
+	SC SignedContribution
+
+	bits   []uint64
+	signed []byte
+}
+
+// Decode decodes data into s.SC and returns the exact byte string the
+// signature covers (header || fields), which aliases the scratch. The
+// encoded message and the signed string share every field up to the
+// signature, so the signed bytes are recovered by copying the input slice
+// into a reused buffer instead of re-encoding the decoded struct — the
+// aggregation hot path verifies thousands of contributions per second and
+// must not rebuild (or re-allocate) each one.
+func (s *ContributionScratch) Decode(data []byte) ([]byte, error) {
+	var r wire.Reader
+	r.Reset(data)
+	sc := &s.SC
+	if name := r.BytesView(); string(name) != sc.ServiceName {
+		sc.ServiceName = string(name)
 	}
-	m := r.Bytes()
+	sc.Round = r.Uint64()
+	m := r.BytesView()
 	if len(m) == len(sc.Measurement) {
 		copy(sc.Measurement[:], m)
 	} else if r.Err() == nil {
-		return sc, nil, fmt.Errorf("glimmer: measurement field is %d bytes", len(m))
+		return nil, fmt.Errorf("glimmer: measurement field is %d bytes", len(m))
 	}
-	bits := r.Uint64s()
-	sc.Blinded = make(fixed.Vector, len(bits))
-	for i, b := range bits {
+	s.bits = r.Uint64sInto(s.bits)
+	if cap(sc.Blinded) < len(s.bits) {
+		sc.Blinded = make(fixed.Vector, len(s.bits))
+	} else {
+		sc.Blinded = sc.Blinded[:len(s.bits)]
+	}
+	for i, b := range s.bits {
 		sc.Blinded[i] = fixed.Ring(b)
 	}
 	sc.Confidence = int64(r.Uint64())
 	// Everything decoded so far is exactly what the signature covers, after
 	// the domain-separation header.
 	fieldsEnd := len(data) - r.Remaining()
-	sc.Signature = r.Bytes()
+	sc.Signature = r.BytesView()
 	if err := r.Done(); err != nil {
-		return sc, nil, fmt.Errorf("glimmer: signed contribution: %w", err)
+		return nil, fmt.Errorf("glimmer: signed contribution: %w", err)
 	}
-	signed := make([]byte, 0, len(signedContributionHeader)+fieldsEnd)
-	signed = append(signed, signedContributionHeader...)
-	signed = append(signed, data[:fieldsEnd]...)
-	return sc, signed, nil
+	s.signed = append(s.signed[:0], signedContributionHeader...)
+	s.signed = append(s.signed, data[:fieldsEnd]...)
+	return s.signed, nil
+}
+
+// DecodeSignedContributionBytes decodes data and additionally returns the
+// exact byte string the signature covers. Unlike ContributionScratch.Decode
+// (which it wraps), the returned struct and signed bytes are independent
+// copies that outlive the input.
+func DecodeSignedContributionBytes(data []byte) (SignedContribution, []byte, error) {
+	var s ContributionScratch
+	signed, err := s.Decode(data)
+	sc := s.SC
+	if err != nil {
+		return sc, nil, err
+	}
+	sc.Blinded = append(fixed.Vector(nil), sc.Blinded...)
+	sc.Signature = append([]byte(nil), sc.Signature...)
+	return sc, append([]byte(nil), signed...), nil
 }
 
 // PeekContributionRound reads only the round number from an encoded
-// SignedContribution, without materializing the vector. Round routers use
-// it to pick a pipeline before paying for the full decode.
+// SignedContribution, without materializing the vector (and without
+// allocating). Round routers use it to pick a pipeline before paying for
+// the full decode.
 func PeekContributionRound(data []byte) (uint64, error) {
-	r := wire.NewReader(data)
+	var r wire.Reader
+	r.Reset(data)
 	r.SkipBytes() // service name, validated by the pipeline after routing
 	round := r.Uint64()
 	if err := r.Err(); err != nil {

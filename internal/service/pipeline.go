@@ -37,6 +37,12 @@ const (
 type PipelineConfig struct {
 	// ServiceName, Verify, Dim, Round fix the round's identity and trust
 	// policy, exactly as NewAggregator's parameters do.
+	//
+	// Verify may be nil, which disables signature verification: the
+	// pipeline then trusts its transport entirely. That mode exists for
+	// pre-authenticated in-process ingest (contributions already verified
+	// upstream) and for benchmarks isolating the decode+dedup path;
+	// anything fed from a network must set Verify.
 	ServiceName string
 	Verify      *xcrypto.VerifyKey
 	Dim         int
@@ -49,6 +55,12 @@ type PipelineConfig struct {
 	// rounded up to a power of two; <= 0 defaults to 2×Workers. More shards
 	// mean less accumulation contention under concurrent ingest.
 	Shards int
+	// ExpectedCohort, when positive, pre-sizes each shard's dedup set for
+	// that many total contributions, so steady-state ingest below the
+	// expectation never rehashes (and therefore never allocates) on the
+	// dedup insert. Ingest beyond the expectation still works; the maps
+	// grow as usual.
+	ExpectedCohort int
 }
 
 // pipeShard is one lock's worth of aggregation state. Contributions are
@@ -125,13 +137,38 @@ func NewPipeline(cfg PipelineConfig) *Pipeline {
 		shards:    make([]*pipeShard, cfg.Shards),
 		allowed:   make(map[tee.Measurement]bool),
 	}
+	// Digest sharding spreads contributions binomially, not evenly, so
+	// each shard gets 25% headroom plus a constant over the even split —
+	// enough that ingest below the expectation stays rehash-free well
+	// past the 1-sigma shard imbalance.
+	perShard := 0
+	if cfg.ExpectedCohort > 0 {
+		even := cfg.ExpectedCohort / cfg.Shards
+		perShard = even + even/4 + 16
+	}
 	for i := range p.shards {
 		p.shards[i] = &pipeShard{
-			seen: make(map[[32]byte]bool),
+			seen: make(map[[32]byte]bool, perShard),
 			sum:  fixed.NewVector(cfg.Dim),
 		}
 	}
 	return p
+}
+
+// scratchPool recycles per-contribution decode scratch across every
+// pipeline in the process: rounds come and go, but the scratch (vector,
+// signed-bytes buffer, interned service name) is workload-shaped and stays
+// warm. A scratch is held by exactly one goroutine between Get and Put, so
+// its aliasing rules (see glimmer.ContributionScratch) are trivially met.
+var scratchPool = sync.Pool{New: func() any { return new(glimmer.ContributionScratch) }}
+
+// putScratch drops the scratch's alias into the caller's raw input
+// (SC.Signature is a view) before pooling it: an idle pooled scratch must
+// not keep a transport's frame buffer reachable — the same must-not-retain
+// contract gaas.Ingestor documents for this very path.
+func putScratch(s *glimmer.ContributionScratch) {
+	s.SC.Signature = nil
+	scratchPool.Put(s)
 }
 
 func nextPowerOfTwo(n int) int {
@@ -256,40 +293,53 @@ func (p *Pipeline) worker() {
 }
 
 // checkContribution runs the stateless checks shared by pipeline ingest
-// and round admission (RoundManager.preverify): decode, service identity,
-// round (when wantRound is non-nil — the cheap checks come before the
-// expensive signature verify so stale traffic is cheap to reject),
-// dimension, allowlist, signature. Dedup is the caller's business.
-// Keeping this in one place means the two call sites cannot drift apart.
+// and round admission (RoundManager.preverify): decode into the caller's
+// scratch, service identity, round (when wantRound is non-nil — the cheap
+// checks come before the expensive signature verify so stale traffic is
+// cheap to reject), dimension, allowlist, signature. Dedup is the caller's
+// business. Keeping this in one place means the two call sites cannot
+// drift apart.
+//
+// On success s.SC holds the decoded contribution; its reference fields
+// alias s and raw, so the caller must finish with them before recycling
+// either (see glimmer.ContributionScratch). The whole check performs zero
+// heap allocations at steady state, signature verification's internals
+// aside.
 func checkContribution(serviceName string, verify *xcrypto.VerifyKey, dim int, wantRound *uint64,
-	vetted func(tee.Measurement) bool, raw []byte) (glimmer.SignedContribution, error) {
-	sc, signed, err := glimmer.DecodeSignedContributionBytes(raw)
+	vetted func(tee.Measurement) bool, raw []byte, s *glimmer.ContributionScratch) error {
+	signed, err := s.Decode(raw)
 	if err != nil {
-		return sc, fmt.Errorf("service: %w", err)
+		return fmt.Errorf("service: %w", err)
 	}
+	sc := &s.SC
 	if sc.ServiceName != serviceName {
-		return sc, ErrWrongService
+		return ErrWrongService
 	}
 	if wantRound != nil && sc.Round != *wantRound {
-		return sc, ErrWrongRound
+		return ErrWrongRound
 	}
 	if len(sc.Blinded) != dim {
-		return sc, ErrWrongDim
+		return ErrWrongDim
 	}
 	if !vetted(sc.Measurement) {
-		return sc, ErrUnknownGlimmer
+		return ErrUnknownGlimmer
 	}
-	if !verify.Verify(signed, sc.Signature) {
-		return sc, ErrBadSignature
+	if verify != nil && !verify.Verify(signed, sc.Signature) {
+		return ErrBadSignature
 	}
-	return sc, nil
+	return nil
 }
 
-// process is the per-contribution hot path: decode, policy checks,
-// signature verification (all lock-free), then a brief shard-local
-// critical section for dedup and accumulation.
+// process is the per-contribution hot path: decode into pooled scratch,
+// policy checks, signature verification (all lock-free), then a brief
+// shard-local critical section for dedup and accumulation. Steady state it
+// allocates nothing outside the signature verifier's internals: the decode
+// reuses pooled scratch, the digest lives on the stack, and the dedup
+// insert lands in a pre-sized map (ExpectedCohort).
 func (p *Pipeline) process(raw []byte) error {
-	sc, err := checkContribution(p.cfg.ServiceName, p.cfg.Verify, p.cfg.Dim, &p.cfg.Round, p.vetted, raw)
+	s := scratchPool.Get().(*glimmer.ContributionScratch)
+	defer putScratch(s)
+	err := checkContribution(p.cfg.ServiceName, p.cfg.Verify, p.cfg.Dim, &p.cfg.Round, p.vetted, raw, s)
 	if err != nil {
 		return p.reject(err)
 	}
@@ -301,7 +351,7 @@ func (p *Pipeline) process(raw []byte) error {
 		return p.reject(ErrDuplicate)
 	}
 	sh.seen[digest] = true
-	sh.sum.AddInPlace(sc.Blinded)
+	sh.sum.AddInPlace(s.SC.Blinded)
 	sh.count++
 	sh.mu.Unlock()
 	return nil

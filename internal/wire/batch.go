@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -21,19 +22,57 @@ var ErrBatchTooLarge = errors.New("wire: batch exceeds item limit")
 
 // EncodeBatch frames items into one batch message.
 func EncodeBatch(items [][]byte) []byte {
-	w := NewWriter()
-	w.Uint32(uint32(len(items)))
+	return AppendBatch(make([]byte, 0, EncodedBatchSize(items)), items)
+}
+
+// AppendBatch appends the batch framing of items to dst and returns the
+// extended slice — the single definition of the batch byte format, shared
+// by EncodeBatch and by transports that encode straight into a pooled
+// frame buffer (gaas.Client.SubmitBatch). Size dst with EncodedBatchSize
+// to avoid growth.
+func AppendBatch(dst []byte, items [][]byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(items)))
 	for _, item := range items {
-		w.Bytes(item)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(item)))
+		dst = append(dst, item...)
 	}
-	return w.Finish()
+	return dst
+}
+
+// EncodedBatchSize returns len(EncodeBatch(items)) without encoding:
+// encoders that frame a batch into a preallocated buffer size it with
+// this.
+func EncodedBatchSize(items [][]byte) int {
+	n := 4
+	for _, item := range items {
+		n += 4 + len(item)
+	}
+	return n
 }
 
 // DecodeBatch reverses EncodeBatch. Every item is an independent copy, so
 // decoded batches can be fanned out to concurrent workers that outlive the
 // frame buffer.
 func DecodeBatch(data []byte) ([][]byte, error) {
-	r := NewReader(data)
+	items, err := decodeBatch(data, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
+// DecodeBatchInto decodes a batch frame without copying: every returned
+// item is a view into data, and the item headers are appended into
+// scratch[:0] so a pooled slice can be reused across frames. The views are
+// valid only while data is — callers that fan items out to workers must
+// keep the frame buffer alive (and unrecycled) until processing settles.
+func DecodeBatchInto(data []byte, scratch [][]byte) ([][]byte, error) {
+	return decodeBatch(data, scratch, true)
+}
+
+func decodeBatch(data []byte, scratch [][]byte, view bool) ([][]byte, error) {
+	var r Reader
+	r.Reset(data)
 	n := r.Uint32()
 	if err := r.Err(); err != nil {
 		return nil, err
@@ -48,11 +87,22 @@ func DecodeBatch(data []byte) ([][]byte, error) {
 	if int(n) > r.Remaining()/4 {
 		return nil, fmt.Errorf("wire: batch: %w", ErrTruncated)
 	}
-	items := make([][]byte, 0, n)
+	items := scratch[:0]
+	if cap(items) < int(n) {
+		items = make([][]byte, 0, n)
+	}
 	for i := uint32(0); i < n; i++ {
-		items = append(items, r.Bytes())
+		if view {
+			items = append(items, r.BytesView())
+		} else {
+			items = append(items, r.Bytes())
+		}
 	}
 	if err := r.Done(); err != nil {
+		// Drop any views already appended into the caller's scratch: a
+		// failed decode must not leave stale references to the frame
+		// buffer behind (the scratch array is retained and reused).
+		clear(items)
 		return nil, fmt.Errorf("wire: batch: %w", err)
 	}
 	return items, nil

@@ -38,6 +38,11 @@ type Writer struct {
 // NewWriter returns an empty writer.
 func NewWriter() *Writer { return &Writer{} }
 
+// Reset empties the writer while keeping its buffer capacity, so one
+// writer can encode a stream of messages without re-allocating. Hot paths
+// (gaas framing, bulk encoders) pool Writers and Reset between uses.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
 // Bytes appends a length-prefixed byte field.
 func (w *Writer) Bytes(b []byte) *Writer {
 	var lenBuf [4]byte
@@ -104,6 +109,15 @@ type Reader struct {
 // NewReader wraps an encoded message.
 func NewReader(data []byte) *Reader { return &Reader{data: data} }
 
+// Reset re-points the reader at a new message and clears any sticky error.
+// Decoders on the ingest hot path keep a Reader value on the stack and
+// Reset it per message instead of allocating a fresh one.
+func (r *Reader) Reset(data []byte) {
+	r.data = data
+	r.off = 0
+	r.err = nil
+}
+
 // Err returns the first decoding error, if any.
 func (r *Reader) Err() error { return r.err }
 
@@ -155,6 +169,18 @@ func (r *Reader) Bytes() []byte {
 
 // String reads a length-prefixed string field.
 func (r *Reader) String() string { return string(r.Bytes()) }
+
+// BytesView reads a length-prefixed byte field without copying: the
+// returned slice aliases the reader's input and is valid only while the
+// input buffer is. The zero-allocation ingest path decodes with views and
+// copies nothing it does not retain.
+func (r *Reader) BytesView() []byte {
+	n := r.fieldLen()
+	if r.err != nil {
+		return nil
+	}
+	return r.take(n)
+}
 
 // SkipBytes advances past a length-prefixed byte field without copying it,
 // for readers that only need a later field.
@@ -225,6 +251,34 @@ func (r *Reader) Uint64s() []uint64 {
 		return nil
 	}
 	return out
+}
+
+// Uint64sInto reads a counted sequence of 64-bit values into dst's
+// backing array, growing it only when the capacity is insufficient. It
+// returns the filled slice (len == the decoded count). Steady-state
+// decoders pass the previous call's result back in and allocate nothing
+// once the scratch has grown to the workload's size.
+func (r *Reader) Uint64sInto(dst []uint64) []uint64 {
+	n := r.Uint32()
+	if r.err != nil {
+		return dst[:0]
+	}
+	if uint64(n)*8 > uint64(len(r.data)-r.off) {
+		r.fail(ErrTruncated)
+		return dst[:0]
+	}
+	if cap(dst) < int(n) {
+		dst = make([]uint64, n)
+	} else {
+		dst = dst[:n]
+	}
+	for i := range dst {
+		dst[i] = r.Uint64()
+	}
+	if r.err != nil {
+		return dst[:0]
+	}
+	return dst
 }
 
 // Done verifies the message was fully consumed and returns any decode error.
