@@ -436,7 +436,14 @@ func BenchmarkAggregatorAdd(b *testing.B) {
 	raw := EncodeSignedContribution(sc)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		agg := NewAggregator(tb.Service.Name(), tb.Service.ContributionVerifyKey(), 1024, 1)
+		agg := NewPipeline(PipelineConfig{
+			ServiceName: tb.Service.Name(),
+			Verify:      tb.Service.ContributionVerifyKey(),
+			Dim:         1024,
+			Round:       1,
+			Workers:     1,
+			Shards:      1,
+		})
 		if err := agg.Add(raw); err != nil {
 			b.Fatal(err)
 		}

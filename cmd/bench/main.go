@@ -386,6 +386,99 @@ func suite(sz sizes) []benchEntry {
 			}))
 		}},
 
+		{name: "route_peek", allocGated: true, run: func() result {
+			// The tenant router's header peek: the PR-3 zero-allocation
+			// ingest path must survive frame-level routing, so the peek is
+			// pinned at 0 allocs/op.
+			raws := makeRaws(64, sz.dim, 1, serviceName, key)
+			return fromBench(testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					name, err := glimmer.PeekContributionService(raws[i%len(raws)])
+					if err != nil || len(name) == 0 {
+						fatal(fmt.Errorf("peek: name=%q err=%v", name, err))
+					}
+				}
+			}))
+		}},
+
+		{name: "multitenant_ingest", allocGated: true, run: func() result {
+			// Frame-level routing under a heterogeneous workload: one
+			// registry, three tenants (two range tenants and a botdetect
+			// tenant's one-bit verdicts), every batch interleaving all
+			// three. Signature verification is off and dedup shards are
+			// pre-sized, isolating the routing + decode + dedup overhead —
+			// directly comparable to ingest_decode_dedup's single-tenant
+			// figure. One op is one routed batch.
+			type tenantShape struct {
+				name string
+				dim  int
+			}
+			shapes := []tenantShape{
+				{"maps.bench.example", 64},
+				{"keyboard.bench.example", 64},
+				{"botdetect.bench.example", 1},
+			}
+			perTenant := sz.batchItems
+			newReg := func() *service.Registry {
+				reg := service.NewRegistry(0)
+				for _, shape := range shapes {
+					if _, err := reg.AddTenant(service.TenantConfig{
+						Name:           shape.name,
+						Dim:            shape.dim,
+						ExpectedCohort: perTenant * sz.batchRounds,
+					}); err != nil {
+						fatal(err)
+					}
+				}
+				return reg
+			}
+			// batchRounds distinct interleaved batches, reused round-robin,
+			// with vectors unique per (batch, item) so dedup never fires.
+			batches := make([][][]byte, sz.batchRounds)
+			for r := range batches {
+				batch := make([][]byte, 0, perTenant*len(shapes))
+				for i := 0; i < perTenant; i++ {
+					for s, shape := range shapes {
+						sc := glimmer.SignedContribution{
+							ServiceName: shape.name,
+							Round:       1,
+							Measurement: tee.Measurement{1},
+							Blinded:     make(fixed.Vector, shape.dim),
+							Confidence:  1,
+						}
+						for d := range sc.Blinded {
+							sc.Blinded[d] = fixed.Ring(uint64(r)*1000003 +
+								uint64(i)*1009 + uint64(s)*31 + uint64(d) + 1)
+						}
+						batch = append(batch, glimmer.EncodeSignedContribution(sc))
+					}
+				}
+				batches[r] = batch
+			}
+			return fromBench(testing.Benchmark(func(b *testing.B) {
+				reg := newReg()
+				b.ReportAllocs()
+				b.ResetTimer()
+				items := 0
+				for i := 0; i < b.N; i++ {
+					if i%len(batches) == 0 && i > 0 {
+						b.StopTimer()
+						reg = newReg()
+						b.StartTimer()
+					}
+					batch := batches[i%len(batches)]
+					accepted, _ := reg.IngestBatch(batch)
+					if accepted != len(batch) {
+						fatal(fmt.Errorf("routed batch accepted %d of %d", accepted, len(batch)))
+					}
+					items += len(batch)
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(items)/b.Elapsed().Seconds(), "contrib_per_sec")
+			}))
+		}},
+
 		{name: "ingest_serial", run: func() result {
 			return fromBench(benchIngest(sz, serviceName, key, 1, 1))
 		}},

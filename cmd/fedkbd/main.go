@@ -89,7 +89,14 @@ func main() {
 		log.Fatal(err)
 	}
 	const round = 1
-	agg := service.NewAggregator(svc.Name(), svc.ContributionVerifyKey(), vocab.Dims(), round)
+	agg := service.NewPipeline(service.PipelineConfig{
+		ServiceName: svc.Name(),
+		Verify:      svc.ContributionVerifyKey(),
+		Dim:         vocab.Dims(),
+		Round:       round,
+		Workers:     1,
+		Shards:      1,
+	})
 	rejected := 0
 	unusedMasks := fixed.NewVector(vocab.Dims())
 	for i, m := range models {

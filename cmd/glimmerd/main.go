@@ -1,21 +1,30 @@
-// Command glimmerd hosts a Glimmer-as-a-service daemon (§4.2 of the
-// paper): a TCP server that loads a fresh Glimmer enclave per connection so
-// devices without trusted hardware can use one remotely.
+// Command glimmerd hosts a multi-tenant Glimmer-as-a-service daemon (§4.2
+// of the paper): a TCP server whose tenant registry serves N services at
+// once — each with its own validation predicate, contribution key, and
+// aggregation rounds — under one shared round budget. Clients name their
+// service in the hello and get a fresh enclave loaded from that tenant's
+// configuration; submitted contribution batches are routed to their
+// tenant's pipeline by the service name each contribution carries.
 //
 // The daemon assembles a self-contained demo deployment — a simulated
-// attestation service, a platform, and a service enforcing a [0,1] range
-// check over -dim weights — and prints the measurement clients must pin.
-// In a real deployment the service and attestation root would live
-// elsewhere; the wire protocol (internal/gaas) is the same.
+// attestation service, a platform, and the requested tenants — and prints
+// the per-tenant measurements clients must pin. In a real deployment the
+// services and attestation root would live elsewhere; the wire protocol
+// (internal/gaas) is the same.
 //
-// The daemon also ingests: clients batch their signed contributions into
-// one submit-batch frame and the daemon routes them through a concurrent,
-// sharded aggregation pipeline (service.RoundManager), keeping overlapping
-// rounds open at once.
+// Tenants: the -service/-dim flags define the primary tenant (a [0,1]
+// range check over -dim weights); -tenants adds more, as a comma-separated
+// list of name:dim (range-check tenant) or name:bot (the §4.1 bot
+// detector: one-bit verdict contributions counting human sessions).
+//
+// On SIGINT/SIGTERM the daemon stops accepting, drains in-flight batches,
+// seals every open round, and prints per-tenant sealed sums and rejection
+// counters before exiting.
 //
 // Usage:
 //
-//	glimmerd -listen 127.0.0.1:7433 -dim 16 -workers 8 -shards 32
+//	glimmerd -listen 127.0.0.1:7433 -dim 16 -workers 8 -shards 32 \
+//	  -tenants sensors.example:8,webservice.example:bot
 package main
 
 import (
@@ -23,8 +32,14 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
 
+	"glimmers/internal/botdetect"
 	"glimmers/internal/gaas"
 	"glimmers/internal/glimmer"
 	"glimmers/internal/predicate"
@@ -32,13 +47,113 @@ import (
 	"glimmers/internal/tee"
 )
 
+// tenantSpec is one parsed -tenants entry.
+type tenantSpec struct {
+	name string
+	dim  int
+	bot  bool
+}
+
+// parseTenants parses "name:dim,name:bot" into specs.
+func parseTenants(s string) ([]tenantSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var specs []tenantSpec
+	for _, entry := range strings.Split(s, ",") {
+		name, kind, ok := strings.Cut(strings.TrimSpace(entry), ":")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("tenant %q: want name:dim or name:bot", entry)
+		}
+		if kind == "bot" {
+			specs = append(specs, tenantSpec{name: name, dim: botdetect.TenantDim, bot: true})
+			continue
+		}
+		dim, err := strconv.Atoi(kind)
+		if err != nil || dim <= 0 {
+			return nil, fmt.Errorf("tenant %q: dimension must be a positive integer", entry)
+		}
+		specs = append(specs, tenantSpec{name: name, dim: dim})
+	}
+	return specs, nil
+}
+
+// addTenant assembles one tenant: its cloud service, predicate, hosting
+// enclave config, and registry entry.
+func addTenant(registry *service.Registry, as *tee.AttestationService, spec tenantSpec, workers, shards int) (*service.Tenant, error) {
+	svc, err := service.New(spec.name, as.Root())
+	if err != nil {
+		return nil, err
+	}
+	pred := predicate.UnitRangeCheck("unit-range", spec.dim)
+	if spec.bot {
+		pred = botdetect.DefaultDetector.TenantPredicate("bot-tenant")
+	}
+	if err := svc.SetPredicate(pred); err != nil {
+		return nil, err
+	}
+	cfg, err := svc.GlimmerConfig(spec.dim, glimmer.ModeNone, glimmer.DefaultPolicy)
+	if err != nil {
+		return nil, err
+	}
+	svc.Vet(glimmer.BuildBinary(cfg).Measurement())
+	tenant, err := registry.AddTenant(service.TenantConfig{
+		Name:    spec.name,
+		Verify:  svc.ContributionVerifyKey(),
+		Dim:     spec.dim,
+		Workers: workers,
+		Shards:  shards,
+		// Unattended daemon: rounds march forward forever, so evict the
+		// least-filled round at the quota instead of wedging ingest, and
+		// refuse rounds far from the ones in flight (the round number is
+		// client-chosen).
+		EvictAtCap:  true,
+		RoundWindow: 16,
+		Glimmer:     cfg,
+		Provision: func(dev *glimmer.Device) error {
+			payload, err := svc.BasePayload()
+			if err != nil {
+				return err
+			}
+			return svc.Provision(dev, payload)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	tenant.Manager().Vet(glimmer.BuildBinary(cfg).Measurement())
+	return tenant, nil
+}
+
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7433", "address to listen on")
-	dim := flag.Int("dim", 16, "contribution dimensionality")
-	serviceName := flag.String("service", "demo.glimmers.example", "service name")
+	dim := flag.Int("dim", 16, "primary tenant's contribution dimensionality")
+	serviceName := flag.String("service", "demo.glimmers.example", "primary tenant's service name")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "verifier workers per aggregation round")
 	shards := flag.Int("shards", 0, "dedup/sum shards per round (0 = 2×workers)")
+	tenants := flag.String("tenants", "", "extra tenants: name:dim or name:bot, comma-separated")
+	maxRounds := flag.Int("max-total-rounds", service.DefaultMaxTotalRounds,
+		"shared budget: live rounds across all tenants")
 	flag.Parse()
+
+	switch {
+	case *dim <= 0:
+		log.Fatalf("glimmerd: -dim must be positive, got %d", *dim)
+	case *workers <= 0:
+		log.Fatalf("glimmerd: -workers must be positive, got %d", *workers)
+	case *shards < 0:
+		log.Fatalf("glimmerd: -shards must be non-negative, got %d", *shards)
+	case *maxRounds <= 0:
+		log.Fatalf("glimmerd: -max-total-rounds must be positive, got %d", *maxRounds)
+	case *serviceName == "":
+		log.Fatal("glimmerd: -service must not be empty")
+	}
+	specs := []tenantSpec{{name: *serviceName, dim: *dim}}
+	extra, err := parseTenants(*tenants)
+	if err != nil {
+		log.Fatalf("glimmerd: -tenants: %v", err)
+	}
+	specs = append(specs, extra...)
 
 	as, err := tee.NewAttestationService()
 	if err != nil {
@@ -48,50 +163,66 @@ func main() {
 	if err != nil {
 		log.Fatalf("platform: %v", err)
 	}
-	svc, err := service.New(*serviceName, as.Root())
-	if err != nil {
-		log.Fatalf("service: %v", err)
-	}
-	if err := svc.SetPredicate(predicate.UnitRangeCheck("unit-range", *dim)); err != nil {
-		log.Fatalf("predicate: %v", err)
-	}
-	cfg, err := svc.GlimmerConfig(*dim, glimmer.ModeNone, glimmer.DefaultPolicy)
-	if err != nil {
-		log.Fatalf("config: %v", err)
-	}
-	server := gaas.NewServer(platform, cfg, func(dev *glimmer.Device) error {
-		payload, err := svc.BasePayload()
-		if err != nil {
-			return err
+	registry := service.NewRegistry(*maxRounds)
+	for _, spec := range specs {
+		if _, err := addTenant(registry, as, spec, *workers, *shards); err != nil {
+			log.Fatalf("tenant %q: %v", spec.name, err)
 		}
-		return svc.Provision(dev, payload)
-	})
-	svc.Vet(server.Measurement())
+	}
 
-	rounds := service.NewRoundManager(service.PipelineConfig{
-		ServiceName: *serviceName,
-		Verify:      svc.ContributionVerifyKey(),
-		Dim:         *dim,
-		Workers:     *workers,
-		Shards:      *shards,
-	})
-	// Unattended daemon: rounds march forward forever, so evict the
-	// least-filled round at the cap instead of wedging ingest, and refuse
-	// rounds far from the ones in flight (the round number is
-	// client-chosen).
-	rounds.EvictAtCap = true
-	rounds.RoundWindow = 16
-	rounds.Vet(server.Measurement())
-	server.SetIngest(rounds)
+	server := gaas.NewTenantServer(platform, registry)
+	server.SetIngest(registry)
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	fmt.Printf("glimmerd: serving %q glimmers on %s\n", *serviceName, ln.Addr())
-	fmt.Printf("glimmerd: vetted measurement %s (clients must pin this)\n", server.Measurement())
-	fmt.Printf("glimmerd: ingest pipeline: %d verifier workers per round\n", *workers)
+	fmt.Printf("glimmerd: serving %d tenant(s) on %s (budget %d rounds, %d verifier workers/round)\n",
+		len(specs), ln.Addr(), *maxRounds, *workers)
+	for _, t := range registry.Tenants() {
+		meas, err := server.MeasurementFor(t.Name())
+		if err != nil {
+			log.Fatalf("tenant %q: %v", t.Name(), err)
+		}
+		fmt.Printf("glimmerd: tenant %-28s dim=%-4d measurement %s (clients must pin this)\n",
+			t.Name(), t.Config().Dim, meas)
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight batches, then
+	// report per-tenant sealed sums and rejection counters.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigs
+		fmt.Printf("glimmerd: %v: stopping accept loop, draining in-flight batches\n", sig)
+		_ = ln.Close()
+	}()
+
 	if err := server.Serve(ln); err != nil {
 		log.Fatalf("serve: %v", err)
 	}
+	server.Shutdown() // waits for every connection handler to settle
+	reportTenants(registry)
+}
+
+// reportTenants seals every live round and prints each tenant's final
+// aggregation state.
+func reportTenants(registry *service.Registry) {
+	for _, t := range registry.Tenants() {
+		m := t.Manager()
+		rejected := m.Rejected()
+		fmt.Printf("glimmerd: tenant %s\n", t.Name())
+		for _, round := range m.Rounds() {
+			p, ok := m.Lookup(round)
+			if !ok {
+				continue
+			}
+			_ = p.Seal() // fix the cohort; a closed round is already final
+			rejected += p.Rejected()
+			fmt.Printf("glimmerd:   round %-6d sealed: accepted=%-6d sum=%s\n",
+				round, p.Count(), p.Sum().Digest())
+		}
+		fmt.Printf("glimmerd:   rejected total: %d (manager + pipelines)\n", rejected)
+	}
+	fmt.Printf("glimmerd: routing rejections (unroutable/unknown tenant): %d\n", registry.Rejected())
 }

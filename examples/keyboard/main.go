@@ -99,7 +99,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	agg := glimmers.NewAggregator(tb.Service.Name(), tb.Service.ContributionVerifyKey(), vocab.Dims(), round)
+	agg := glimmers.NewPipeline(glimmers.PipelineConfig{
+		ServiceName: tb.Service.Name(),
+		Verify:      tb.Service.ContributionVerifyKey(),
+		Dim:         vocab.Dims(),
+		Round:       round,
+		Workers:     1,
+		Shards:      1,
+	})
 	rejected := 0
 	unused := fixed.NewVector(vocab.Dims())
 	for i, m := range models {

@@ -51,7 +51,14 @@ func main() {
 	fmt.Printf("malicious contribution rejected: %v\n", errors.Is(err, glimmer.ErrRejected))
 
 	// 5. The service aggregates only endorsed contributions.
-	agg := glimmers.NewAggregator(tb.Service.Name(), tb.Service.ContributionVerifyKey(), dim, 1)
+	agg := glimmers.NewPipeline(glimmers.PipelineConfig{
+		ServiceName: tb.Service.Name(),
+		Verify:      tb.Service.ContributionVerifyKey(),
+		Dim:         dim,
+		Round:       1,
+		Workers:     1,
+		Shards:      1,
+	})
 	agg.Vet(dev.Measurement())
 	if err := agg.Add(glimmers.EncodeSignedContribution(sc)); err != nil {
 		log.Fatal(err)

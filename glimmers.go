@@ -60,15 +60,21 @@ type (
 
 	// Service is the cloud side: provisioning, vetting, aggregation.
 	Service = service.Service
-	// Aggregator collects signed blinded contributions for one round.
-	Aggregator = service.Aggregator
 	// Pipeline is the concurrent, sharded ingest path for one round, with
-	// an explicit open → sealed → closed lifecycle.
+	// an explicit open → sealed → closed lifecycle. Workers: 1, Shards: 1
+	// configures the strictly serial baseline the old Aggregator facade
+	// provided.
 	Pipeline = service.Pipeline
 	// PipelineConfig sizes a Pipeline (verifier workers, shards).
 	PipelineConfig = service.PipelineConfig
 	// RoundManager owns pipelines for concurrent aggregation rounds.
 	RoundManager = service.RoundManager
+	// Registry hosts many tenants — each with its own predicate, keys, and
+	// rounds — under one shared budget, routing contributions by the
+	// service name they carry.
+	Registry = service.Registry
+	// TenantConfig describes one of a Registry's hosted services.
+	TenantConfig = service.TenantConfig
 	// BotGate consumes §4.1 verdicts.
 	BotGate = service.BotGate
 
@@ -107,12 +113,12 @@ var (
 	NewDevice = glimmer.NewDevice
 	// NewService creates a cloud service trusting an attestation root.
 	NewService = service.New
-	// NewAggregator starts contribution collection for a round.
-	NewAggregator = service.NewAggregator
 	// NewPipeline starts a concurrent sharded ingest pipeline for a round.
 	NewPipeline = service.NewPipeline
 	// NewRoundManager starts a manager for concurrent rounds.
 	NewRoundManager = service.NewRoundManager
+	// NewRegistry starts a multi-tenant registry with a shared round budget.
+	NewRegistry = service.NewRegistry
 	// UnitRangeCheck builds the paper's canonical [0,1] validator.
 	UnitRangeCheck = predicate.UnitRangeCheck
 	// FromFloats encodes a real vector into the fixed-point ring.

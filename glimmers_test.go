@@ -8,6 +8,19 @@ import (
 	"glimmers/internal/glimmer"
 )
 
+// serialPipeline is the strictly serial aggregation baseline (one worker,
+// one shard) the facade tests collect into.
+func serialPipeline(tb *glimmers.Testbed, dim int, round uint64) *glimmers.Pipeline {
+	return glimmers.NewPipeline(glimmers.PipelineConfig{
+		ServiceName: tb.Service.Name(),
+		Verify:      tb.Service.ContributionVerifyKey(),
+		Dim:         dim,
+		Round:       round,
+		Workers:     1,
+		Shards:      1,
+	})
+}
+
 // TestFacadeQuickstart exercises the public API the way the quickstart
 // example does: testbed, provisioned device, contribute, verify, aggregate.
 func TestFacadeQuickstart(t *testing.T) {
@@ -28,7 +41,7 @@ func TestFacadeQuickstart(t *testing.T) {
 	if !tb.Service.ContributionVerifyKey().Verify(sc.SignedBytes(), sc.Signature) {
 		t.Fatal("signature invalid through facade")
 	}
-	agg := glimmers.NewAggregator(tb.Service.Name(), tb.Service.ContributionVerifyKey(), dim, 1)
+	agg := serialPipeline(tb, dim, 1)
 	agg.Vet(dev.Measurement())
 	if err := agg.Add(glimmers.EncodeSignedContribution(sc)); err != nil {
 		t.Fatal(err)
@@ -53,7 +66,7 @@ func TestFacadeDealerMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	agg := glimmers.NewAggregator(tb.Service.Name(), tb.Service.ContributionVerifyKey(), dim, 1)
+	agg := serialPipeline(tb, dim, 1)
 	var want glimmers.Vector = make([]glimmers.Ring, dim)
 	for i := 0; i < n; i++ {
 		dev, err := tb.NewProvisionedDevice(dim, glimmers.ModeDealer,

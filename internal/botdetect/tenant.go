@@ -1,0 +1,55 @@
+package botdetect
+
+import (
+	"glimmers/internal/fixed"
+	"glimmers/internal/predicate"
+)
+
+// Bot detection as a first-class aggregation tenant: instead of the
+// challenge/verdict flow (BotGate), a device contributes the one-bit
+// verdict itself — a 1-dimensional vector holding exactly 1 — and the
+// Glimmer endorses it only when the detector classifies the private
+// behavioural signals as human. A round's aggregate sum is then the
+// human-session count, flowing through the same blinded-aggregation
+// pipeline as every other tenant's contributions. This is the paper's
+// point made concrete: §4.1 bot detection and §4.2 hosted aggregation are
+// two tenants of one trust mechanism.
+
+// TenantDim is the dimensionality of verdict contributions: the one bit
+// §4.1 allows.
+const TenantDim = 1
+
+// VerdictContribution returns the contribution an endorsed human session
+// submits: a single raw ring 1, so the cohort's exact sum counts human
+// sessions directly (masks cancel as usual).
+func VerdictContribution() fixed.Vector {
+	return fixed.Vector{1}
+}
+
+// TenantPredicate compiles the detector into a tenant validation
+// predicate: valid iff the contribution is exactly VerdictContribution
+// (one element, equal to 1 — any other value could smuggle extra bits or
+// skew the count) AND the detector's indicator majority classifies the
+// private signal bank as human. Like Predicate, the program is branch-free
+// over secrets with a single declassification site, so it passes the
+// static verifier and installs under the default policy — even delivered
+// confidentially.
+func (d Detector) TenantPredicate(name string) *predicate.Program {
+	b := predicate.NewBuilder(name, 1)
+	b.Push(0).Store(0)
+	indicator := func(feature int, min int64) {
+		b.LoadP(feature).Push(min).Ge().Load(0).Add().Store(0)
+	}
+	indicator(FeatGapStd, d.MinGapStd)
+	indicator(FeatGapEntropy, d.MinGapEntropy)
+	indicator(FeatCurvature, d.MinCurvature)
+	indicator(FeatFocus, d.MinFocus)
+	indicator(FeatBurstiness, d.MinBurstiness)
+	b.Load(0).Push(d.MinIndicators).Ge()
+	b.LenP().Push(int64(NumFeatures)).Eq().And()
+	// The verdict contribution itself: exactly one element, exactly 1.
+	b.LenC().Push(int64(TenantDim)).Eq().And()
+	b.LoadC(0).Push(1).Eq().And()
+	b.Declass().Verdict()
+	return b.MustBuild()
+}

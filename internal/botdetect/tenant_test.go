@@ -1,0 +1,86 @@
+package botdetect
+
+import (
+	"testing"
+
+	"glimmers/internal/predicate"
+	"glimmers/internal/xcrypto"
+)
+
+// TestTenantPredicateVerifies pins the installability contract: the tenant
+// predicate must pass the static verifier with a single declassification
+// site, or no Glimmer will install it.
+func TestTenantPredicateVerifies(t *testing.T) {
+	prog := DefaultDetector.TenantPredicate("bot-tenant")
+	analysis, err := predicate.Verify(prog)
+	if err != nil {
+		t.Fatalf("tenant predicate failed verification: %v", err)
+	}
+	if len(analysis.DeclassSites) != 1 {
+		t.Fatalf("declass sites = %d, want 1", len(analysis.DeclassSites))
+	}
+}
+
+// runTenant executes the tenant predicate over a contribution and signal
+// bank, returning the verdict (faults count as refusals, as in the
+// enclave).
+func runTenant(t *testing.T, contribution, signals []int64) int64 {
+	t.Helper()
+	prog := DefaultDetector.TenantPredicate("bot-tenant")
+	analysis, err := predicate.Verify(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := predicate.Run(prog, contribution, signals, &predicate.Options{MaxSteps: analysis.CostBound})
+	if err != nil {
+		return 0
+	}
+	return res.Verdict
+}
+
+func TestTenantPredicateVerdicts(t *testing.T) {
+	prg := xcrypto.NewPRG([]byte("tenant-verdicts"))
+	human := Features(HumanTrace(prg, 300))
+	bot := Features(BotTrace(prg, 300, 0))
+	one := []int64{1}
+
+	if got := runTenant(t, one, human); got != 1 {
+		t.Errorf("human session with verdict contribution: verdict = %d, want 1", got)
+	}
+	if got := runTenant(t, one, bot); got != 0 {
+		t.Errorf("bot session endorsed: verdict = %d, want 0", got)
+	}
+	// The contribution must be exactly [1]: anything else could smuggle
+	// bits or skew the human count.
+	for name, contribution := range map[string][]int64{
+		"value 2":      {2},
+		"value 0":      {0},
+		"two elements": {1, 1},
+		"empty":        {},
+	} {
+		if got := runTenant(t, contribution, human); got != 0 {
+			t.Errorf("%s endorsed: verdict = %d, want 0", name, got)
+		}
+	}
+}
+
+// TestTenantPredicateAgreesWithDetector locks the compiled tenant
+// predicate to the native classifier across synthetic populations.
+func TestTenantPredicateAgreesWithDetector(t *testing.T) {
+	prg := xcrypto.NewPRG([]byte("tenant-agreement"))
+	for i := 0; i < 40; i++ {
+		var features []int64
+		if i%2 == 0 {
+			features = Features(HumanTrace(prg, 200))
+		} else {
+			features = Features(BotTrace(prg, 200, float64(i)/40))
+		}
+		want := int64(0)
+		if DefaultDetector.Classify(features) {
+			want = 1
+		}
+		if got := runTenant(t, []int64{1}, features); got != want {
+			t.Fatalf("sample %d: tenant verdict %d, native classifier %d", i, got, want)
+		}
+	}
+}

@@ -82,7 +82,14 @@ func RunE5(cfg Figure1Config) (*E5Result, error) {
 		return nil, err
 	}
 
-	agg := service.NewAggregator(svc.Name(), svc.ContributionVerifyKey(), dims, round)
+	agg := service.NewPipeline(service.PipelineConfig{
+		ServiceName: svc.Name(),
+		Verify:      svc.ContributionVerifyKey(),
+		Dim:         dims,
+		Round:       round,
+		Workers:     1,
+		Shards:      1,
+	})
 	res := &E5Result{}
 	var totalLatency time.Duration
 	attackerMaskUnused := fixed.NewVector(dims)

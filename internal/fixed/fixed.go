@@ -14,7 +14,11 @@
 // meaningful precision.
 package fixed
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
 
 // FracBits is the number of fractional bits in the encoding.
 const FracBits = 20
@@ -92,6 +96,20 @@ func (v Vector) Clone() Vector {
 	out := make(Vector, len(v))
 	copy(out, v)
 	return out
+}
+
+// Digest returns a stable 16-hex-digit digest of v (FNV-64a over the
+// big-endian ring bits) — the aggregate fingerprint shared by the fleet
+// simulator's traces and glimmerd's shutdown report, so the two can be
+// compared line for line.
+func (v Vector) Digest() string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, r := range v {
+		binary.BigEndian.PutUint64(buf[:], uint64(r))
+		_, _ = h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // AddInPlace adds other into v element-wise. It panics on length mismatch:

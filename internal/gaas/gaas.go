@@ -142,7 +142,8 @@ func readFrame(r io.Reader) (string, []byte, error) {
 
 // Ingestor accepts batches of encoded signed contributions and reports
 // how many were accepted, with one error slot per input.
-// service.RoundManager satisfies it.
+// service.RoundManager satisfies it for a single tenant; service.Registry
+// satisfies it with frame-level routing across tenants.
 //
 // IngestBatch must not retain any raws slice after it returns: the server
 // hands it views into a per-connection frame buffer that is reused for the
@@ -152,35 +153,87 @@ type Ingestor interface {
 	IngestBatch(raws [][]byte) (accepted int, errs []error)
 }
 
+// HostResolver maps the service name a client's hello carries to the
+// enclave that tenant's user sessions run in. service.Registry satisfies
+// it; single-tenant servers use a fixed resolver. The empty name is the
+// legacy hello: resolvers should map it to their sole tenant when that is
+// unambiguous.
+type HostResolver interface {
+	ResolveHost(service string) (glimmer.Config, func(*glimmer.Device) error, error)
+}
+
+// fixedHost is the single-tenant resolver: one config, one provisioner.
+// It accepts the empty (legacy) name and its own service's name, and
+// refuses others — a client asking a single-tenant host for a different
+// service should learn so before shipping private data.
+type fixedHost struct {
+	cfg       glimmer.Config
+	provision func(*glimmer.Device) error
+}
+
+func (h fixedHost) ResolveHost(service string) (glimmer.Config, func(*glimmer.Device) error, error) {
+	if service != "" && service != h.cfg.ServiceName {
+		return glimmer.Config{}, nil, fmt.Errorf("gaas: host does not serve %q", service)
+	}
+	return h.cfg, h.provision, nil
+}
+
 // Server hosts Glimmer enclaves for remote clients: one freshly loaded,
-// freshly provisioned enclave per connection, so client sessions cannot
-// interfere.
+// freshly provisioned enclave per user session, so client sessions cannot
+// interfere. A multi-tenant server (NewTenantServer) loads each session's
+// enclave from the tenant the client names in its hello.
 type Server struct {
 	platform *tee.Platform
-	cfg      glimmer.Config
-	// provision readies a freshly loaded device (typically by running the
-	// service's provisioning protocol against it).
-	provision func(*glimmer.Device) error
+	resolve  HostResolver
 	// ingest, when non-nil, accepts submit-batch frames: signed, blinded
 	// contributions forwarded straight to the service's aggregation
 	// pipeline so clients need one round trip for a whole cohort. The
 	// contributions are public by construction (signed and blinded), so
 	// they travel outside the per-user attested session.
 	ingest Ingestor
+
+	// Connection tracking for graceful shutdown.
+	connMu  sync.Mutex
+	conns   map[net.Conn]bool
+	closing bool
+	connWG  sync.WaitGroup
 }
 
-// NewServer creates a Glimmer host.
+// NewServer creates a single-tenant Glimmer host.
 func NewServer(platform *tee.Platform, cfg glimmer.Config, provision func(*glimmer.Device) error) *Server {
-	return &Server{platform: platform, cfg: cfg, provision: provision}
+	return NewTenantServer(platform, fixedHost{cfg: cfg, provision: provision})
+}
+
+// NewTenantServer creates a Glimmer host serving every tenant the resolver
+// knows: the client names its service in the hello, and the session's
+// enclave is loaded from that tenant's configuration.
+func NewTenantServer(platform *tee.Platform, resolve HostResolver) *Server {
+	return &Server{platform: platform, resolve: resolve, conns: make(map[net.Conn]bool)}
 }
 
 // SetIngest enables the submit-batch command, forwarding batches to ing.
 // Must be called before Serve.
 func (s *Server) SetIngest(ing Ingestor) { s.ingest = ing }
 
-// Measurement returns the measurement clients must pin.
+// Measurement returns the measurement clients of a single-tenant host must
+// pin (the resolver's default tenant). Multi-tenant deployments publish
+// one measurement per tenant via MeasurementFor.
 func (s *Server) Measurement() tee.Measurement {
-	return glimmer.BuildBinary(s.cfg).Measurement()
+	m, err := s.MeasurementFor("")
+	if err != nil {
+		return tee.Measurement{}
+	}
+	return m
+}
+
+// MeasurementFor returns the measurement clients of the named tenant must
+// pin.
+func (s *Server) MeasurementFor(service string) (tee.Measurement, error) {
+	cfg, _, err := s.resolve.ResolveHost(service)
+	if err != nil {
+		return tee.Measurement{}, err
+	}
+	return glimmer.BuildBinary(cfg).Measurement(), nil
 }
 
 // Serve accepts connections until the listener closes.
@@ -193,24 +246,83 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return fmt.Errorf("gaas: accept: %w", err)
 		}
-		go s.handleConn(conn)
+		if !s.track(conn) {
+			conn.Close()
+			return nil
+		}
+		go func() {
+			defer s.untrack(conn)
+			s.handleConn(conn)
+		}()
 	}
+}
+
+func (s *Server) track(conn net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.closing {
+		return false
+	}
+	s.conns[conn] = true
+	s.connWG.Add(1)
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
+	s.connWG.Done()
+}
+
+// Shutdown stops the server gracefully: the caller closes the listener
+// (ending Serve), Shutdown closes every live connection and waits for the
+// handlers to drain. A handler blocked inside IngestBatch finishes that
+// batch — the contributions land in their pipelines — before its reply
+// write fails and the handler exits, so no in-flight batch is lost.
+func (s *Server) Shutdown() {
+	s.connMu.Lock()
+	s.closing = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.connMu.Unlock()
+	s.connWG.Wait()
+}
+
+// helloService decodes the service name a user-hello body carries. An
+// empty body is the legacy single-tenant hello (empty name).
+func helloService(body []byte) (string, error) {
+	if len(body) == 0 {
+		return "", nil
+	}
+	var r wire.Reader
+	r.Reset(body)
+	name := r.BytesView()
+	if err := r.Done(); err != nil {
+		return "", fmt.Errorf("gaas: hello body: %w", err)
+	}
+	return string(name), nil
+}
+
+// EncodeHelloBody encodes the tenant-bearing user-hello body: the service
+// name the client wants hosted. This is the frame-level routing key of the
+// multi-tenant protocol, so its encoding is pinned by golden-vector tests.
+func EncodeHelloBody(service string) []byte {
+	return wire.NewWriter().String(service).Finish()
 }
 
 func (s *Server) handleConn(conn net.Conn) {
 	defer conn.Close()
-	dev, err := glimmer.NewDevice(s.platform, s.cfg)
-	if err != nil {
-		_ = writeFrame(conn, "error", []byte(err.Error()))
-		return
-	}
-	defer dev.Destroy()
-	if s.provision != nil {
-		if err := s.provision(dev); err != nil {
-			_ = writeFrame(conn, "error", []byte("provisioning failed"))
-			return
+	// The session enclave is loaded lazily, on the first user-hello, from
+	// the tenant the hello names; a later hello on the same connection
+	// replaces the session (and its enclave) wholesale.
+	var dev *glimmer.Device
+	defer func() {
+		if dev != nil {
+			dev.Destroy()
 		}
-	}
+	}()
 	// The connection loop owns one frame buffer and one batch-header
 	// scratch: frames are read into the buffer in place, command bodies are
 	// views into it, and both live exactly until the next frame. Handlers
@@ -227,11 +339,19 @@ func (s *Server) handleConn(conn net.Conn) {
 		var out []byte
 		switch string(cmd) {
 		case cmdUserHello:
-			out, err = dev.UserHello()
+			dev, out, err = s.openSession(dev, body)
 		case cmdUserComplete:
-			err = dev.UserComplete(body)
+			if dev == nil {
+				err = errNoSession
+			} else {
+				err = dev.UserComplete(body)
+			}
 		case cmdUserContribute:
-			out, err = dev.UserContribute(body)
+			if dev == nil {
+				err = errNoSession
+			} else {
+				out, err = dev.UserContribute(body)
+			}
 		case cmdSubmitBatch:
 			out, batchScratch, err = s.handleSubmitBatch(body, batchScratch)
 		default:
@@ -249,6 +369,41 @@ func (s *Server) handleConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+var errNoSession = errors.New("gaas: no session enclave (send user-hello first)")
+
+// openSession resolves the hello's tenant, loads and provisions a fresh
+// enclave for it, and starts the user handshake. Any previous session
+// enclave on the connection is destroyed first.
+func (s *Server) openSession(prev *glimmer.Device, body []byte) (*glimmer.Device, []byte, error) {
+	service, err := helloService(body)
+	if err != nil {
+		return prev, nil, err
+	}
+	cfg, provision, err := s.resolve.ResolveHost(service)
+	if err != nil {
+		return prev, nil, err
+	}
+	dev, err := glimmer.NewDevice(s.platform, cfg)
+	if err != nil {
+		return prev, nil, err
+	}
+	if provision != nil {
+		if err := provision(dev); err != nil {
+			dev.Destroy()
+			return prev, nil, errors.New("provisioning failed")
+		}
+	}
+	out, err := dev.UserHello()
+	if err != nil {
+		dev.Destroy()
+		return prev, nil, err
+	}
+	if prev != nil {
+		prev.Destroy()
+	}
+	return dev, out, nil
 }
 
 // handleSubmitBatch decodes a batch frame without copying (the items are
@@ -339,7 +494,9 @@ func (c *Client) readReply() ([]byte, error) {
 }
 
 func (c *Client) handshake(verifier *tee.QuoteVerifier, serviceName string) error {
-	helloBytes, err := c.roundTrip(cmdUserHello, nil)
+	// The hello names the service: a multi-tenant host loads this session's
+	// enclave from that tenant's configuration (frame-level routing).
+	helloBytes, err := c.roundTrip(cmdUserHello, EncodeHelloBody(serviceName))
 	if err != nil {
 		return err
 	}

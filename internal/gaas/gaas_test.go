@@ -104,7 +104,14 @@ func TestRemoteContribution(t *testing.T) {
 	if !w.svc.ContributionVerifyKey().Verify(sc.SignedBytes(), sc.Signature) {
 		t.Fatal("remote contribution signature invalid")
 	}
-	agg := service.NewAggregator(w.svc.Name(), w.svc.ContributionVerifyKey(), dim, 1)
+	agg := service.NewPipeline(service.PipelineConfig{
+		ServiceName: w.svc.Name(),
+		Verify:      w.svc.ContributionVerifyKey(),
+		Dim:         dim,
+		Round:       1,
+		Workers:     1,
+		Shards:      1,
+	})
 	agg.Vet(w.server.Measurement())
 	if err := agg.Add(glimmer.EncodeSignedContribution(sc)); err != nil {
 		t.Fatal(err)
@@ -201,6 +208,114 @@ func TestSubmitBatchIngest(t *testing.T) {
 	}
 	if got := rounds.Round(1).Count(); got != 3 {
 		t.Fatalf("pipeline count = %d, want 3", got)
+	}
+}
+
+// multiTenantWorld hosts two tenants behind one server via a registry.
+func multiTenantWorld(t *testing.T) (*tee.AttestationService, *service.Registry, *Server, string) {
+	t.Helper()
+	as, err := tee.NewAttestationService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := tee.NewPlatform(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	registry := service.NewRegistry(0)
+	for name, d := range map[string]int{"alpha.example": 3, "beta.example": 2} {
+		svc, err := service.New(name, as.Root())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.SetPredicate(predicate.UnitRangeCheck("range", d)); err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := svc.GlimmerConfig(d, glimmer.ModeNone, glimmer.DefaultPolicy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc.Vet(glimmer.BuildBinary(cfg).Measurement())
+		if _, err := registry.AddTenant(service.TenantConfig{
+			Name: name, Verify: svc.ContributionVerifyKey(), Dim: d,
+			Glimmer: cfg,
+			Provision: func(dev *glimmer.Device) error {
+				payload, err := svc.BasePayload()
+				if err != nil {
+					return err
+				}
+				return svc.Provision(dev, payload)
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	server := NewTenantServer(platform, registry)
+	server.SetIngest(registry)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close(); server.Shutdown() })
+	go func() { _ = server.Serve(ln) }()
+	return as, registry, server, ln.Addr().String()
+}
+
+// TestMultiTenantHosting drives frame-level routing end to end: each
+// client's hello names its tenant, gets that tenant's enclave (distinct
+// measurements), and submitted batches land in that tenant's pipeline.
+func TestMultiTenantHosting(t *testing.T) {
+	as, registry, server, addr := multiTenantWorld(t)
+	dims := map[string]int{"alpha.example": 3, "beta.example": 2}
+	meas := make(map[string]tee.Measurement)
+	for name, d := range dims {
+		m, err := server.MeasurementFor(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meas[name] = m
+		verifier := &tee.QuoteVerifier{Root: as.Root()}
+		verifier.Allow(m)
+		client, err := Dial(addr, verifier, name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		vals := make([]float64, d)
+		for i := range vals {
+			vals[i] = 0.25
+		}
+		sc, err := client.Contribute(1, fixed.FromFloats(vals), nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sc.ServiceName != name {
+			t.Fatalf("contribution endorsed for %q, want %q", sc.ServiceName, name)
+		}
+		accepted, rejected, err := client.SubmitBatch([][]byte{glimmer.EncodeSignedContribution(sc)})
+		if err != nil || accepted != 1 || rejected != 0 {
+			t.Fatalf("%s: submit = (%d, %d, %v)", name, accepted, rejected, err)
+		}
+		client.Close()
+	}
+	if meas["alpha.example"] == meas["beta.example"] {
+		t.Fatal("tenants share a measurement; configs not distinct")
+	}
+	for name := range dims {
+		tn, ok := registry.Tenant(name)
+		if !ok {
+			t.Fatal("tenant missing")
+		}
+		p, ok := tn.Manager().Lookup(1)
+		if !ok || p.Count() != 1 {
+			t.Fatalf("tenant %s round 1 count wrong", name)
+		}
+	}
+	// An unknown tenant in the hello is refused before any enclave loads;
+	// the multi-tenant legacy empty hello is ambiguous and also refused.
+	verifier := &tee.QuoteVerifier{Root: as.Root()}
+	verifier.Allow(meas["alpha.example"])
+	if _, err := Dial(addr, verifier, "ghost.example"); err == nil {
+		t.Fatal("unknown tenant hosted")
 	}
 }
 

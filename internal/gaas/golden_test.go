@@ -1,0 +1,85 @@
+package gaas
+
+import (
+	"bytes"
+	"encoding/hex"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Golden vectors: the tenant-bearing user-hello frame is the multi-tenant
+// protocol's routing key — clients and hosts on different versions must
+// agree on its bytes. The fixture in testdata/ is the frozen encoding; a
+// change that alters it is a cross-version compatibility break and must
+// bump the protocol, not silently reshape the bytes.
+
+func readGolden(t *testing.T, name string) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := hex.DecodeString(strings.TrimSpace(string(raw)))
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return data
+}
+
+const goldenHelloService = "iot.example"
+
+// goldenHelloFrame builds the complete frame a client opens a session
+// with: the user-hello command carrying the tenant name.
+func goldenHelloFrame() []byte {
+	return appendFrame(nil, cmdUserHello, EncodeHelloBody(goldenHelloService))
+}
+
+func TestGoldenTenantHelloFrame(t *testing.T) {
+	want := readGolden(t, "user_hello.hex")
+	got := goldenHelloFrame()
+	if !bytes.Equal(got, want) {
+		t.Fatalf("tenant hello frame changed:\n got: %x\nwant: %x", got, want)
+	}
+	// The frozen bytes must decode back to the same command and tenant —
+	// through the same reader the server uses.
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	go func() {
+		_, _ = c1.Write(want)
+	}()
+	tag, body, _, err := readFrameInto(c2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(tag) != cmdUserHello {
+		t.Fatalf("tag = %q, want %q", tag, cmdUserHello)
+	}
+	service, err := helloService(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if service != goldenHelloService {
+		t.Fatalf("service = %q, want %q", service, goldenHelloService)
+	}
+}
+
+// TestHelloServiceLegacyAndMalformed pins the legacy empty hello (no
+// tenant: single-tenant deployments) and refusal of malformed bodies.
+func TestHelloServiceLegacyAndMalformed(t *testing.T) {
+	service, err := helloService(nil)
+	if err != nil || service != "" {
+		t.Fatalf("legacy hello = (%q, %v), want (\"\", nil)", service, err)
+	}
+	for name, body := range map[string][]byte{
+		"truncated": {0x00, 0x00, 0x00, 0x09, 'x'},
+		"trailing":  append(EncodeHelloBody("svc"), 0xAA),
+	} {
+		if _, err := helloService(body); err == nil {
+			t.Errorf("%s hello body accepted", name)
+		}
+	}
+}

@@ -141,3 +141,39 @@ func TestPeekContributionRoundAllocFree(t *testing.T) {
 		t.Errorf("PeekContributionRound: %.1f allocs/op, want 0", got)
 	}
 }
+
+// TestPeekContributionService locks the tenant router's name peek to the
+// full decoder and to refusal on unroutable bytes.
+func TestPeekContributionService(t *testing.T) {
+	raw := allocContribution(5)
+	name, err := PeekContributionService(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(name) != "alloc.example" {
+		t.Fatalf("peeked name %q, want %q", name, "alloc.example")
+	}
+	for _, bad := range [][]byte{nil, {0x00}, {0x00, 0x00, 0x00, 0x09, 'x'}} {
+		if _, err := PeekContributionService(bad); err == nil {
+			t.Errorf("peek accepted unroutable bytes %x", bad)
+		}
+	}
+}
+
+// TestPeekContributionServiceAllocFree pins the tenant-routing peek at
+// zero heap allocations: the PR-3 zero-allocation ingest path must survive
+// frame-level routing.
+func TestPeekContributionServiceAllocFree(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation accounting differs under the race detector")
+	}
+	raw := allocContribution(3)
+	if got := testing.AllocsPerRun(500, func() {
+		name, err := PeekContributionService(raw)
+		if err != nil || len(name) == 0 {
+			t.Fatalf("name=%q err=%v", name, err)
+		}
+	}); got > 0 {
+		t.Errorf("PeekContributionService: %.1f allocs/op, want 0", got)
+	}
+}

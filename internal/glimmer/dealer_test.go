@@ -93,7 +93,7 @@ func TestDealerEnclaveEndToEnd(t *testing.T) {
 	}
 
 	// The cohort contributes; the dealt masks cancel exactly.
-	agg := service.NewAggregator(svc.Name(), svc.ContributionVerifyKey(), dim, round)
+	agg := serialPipeline(svc, dim, round)
 	trueSum := fixed.NewVector(dim)
 	prg := xcrypto.NewPRG([]byte("dealer-cohort"))
 	for _, dev := range devices {

@@ -16,6 +16,19 @@ import (
 
 const dim = 4
 
+// serialPipeline is the strictly serial aggregation baseline (one worker,
+// one shard) these tests collect into.
+func serialPipeline(svc *service.Service, dim int, round uint64) *service.Pipeline {
+	return service.NewPipeline(service.PipelineConfig{
+		ServiceName: svc.Name(),
+		Verify:      svc.ContributionVerifyKey(),
+		Dim:         dim,
+		Round:       round,
+		Workers:     1,
+		Shards:      1,
+	})
+}
+
 func newWorld(t *testing.T) (*tee.AttestationService, *tee.Platform, *service.Service) {
 	t.Helper()
 	as, err := tee.NewAttestationService()
@@ -216,7 +229,7 @@ func TestHostCannotTamperWithSignedContribution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	agg := service.NewAggregator(svc.Name(), svc.ContributionVerifyKey(), dim, 3)
+	agg := serialPipeline(svc, dim, 3)
 	agg.Vet(dev.Measurement())
 
 	// Host flips one blinded element before forwarding.
@@ -262,7 +275,7 @@ func TestDealerModeCohortAggregation(t *testing.T) {
 
 	contributions := make([]fixed.Vector, n)
 	trueSum := fixed.NewVector(dim)
-	agg := service.NewAggregator(svc.Name(), svc.ContributionVerifyKey(), dim, round)
+	agg := serialPipeline(svc, dim, round)
 	prg := xcrypto.NewPRG([]byte("cohort"))
 	for i, dev := range devices {
 		agg.Vet(dev.Measurement())
@@ -355,7 +368,7 @@ func TestPairwiseModeCohortAggregation(t *testing.T) {
 		}
 	}
 
-	agg := service.NewAggregator(svc.Name(), svc.ContributionVerifyKey(), dim, round)
+	agg := serialPipeline(svc, dim, round)
 	trueSum := fixed.NewVector(dim)
 	prg := xcrypto.NewPRG([]byte("pairwise"))
 	for _, dev := range devices {

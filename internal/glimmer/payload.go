@@ -293,6 +293,22 @@ func PeekContributionRound(data []byte) (uint64, error) {
 	return round, nil
 }
 
+// PeekContributionService reads only the service name from an encoded
+// SignedContribution, as a view into data, without materializing anything
+// else (and without allocating). Multi-tenant routers use it to pick a
+// tenant before paying for the full decode; the tenant's pipeline then
+// re-validates the name against its own identity, so a router acting on
+// the peek alone can never credit a contribution to the wrong tenant.
+func PeekContributionService(data []byte) ([]byte, error) {
+	var r wire.Reader
+	r.Reset(data)
+	name := r.BytesView()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("glimmer: signed contribution: %w", err)
+	}
+	return name, nil
+}
+
 // DetectRequest is the host's input to the "detect" ECALL (§4.1).
 type DetectRequest struct {
 	// Challenge is the service-issued nonce the verdict must echo.

@@ -15,6 +15,16 @@ import (
 	"glimmers/internal/xcrypto"
 )
 
+// Ingest policy errors.
+var (
+	ErrBadSignature   = errors.New("service: contribution signature invalid")
+	ErrWrongRound     = errors.New("service: contribution for a different round")
+	ErrWrongService   = errors.New("service: contribution for a different service")
+	ErrWrongDim       = errors.New("service: contribution has wrong dimension")
+	ErrUnknownGlimmer = errors.New("service: contribution from unvetted glimmer")
+	ErrDuplicate      = errors.New("service: duplicate contribution")
+)
+
 // Round lifecycle errors.
 var (
 	// ErrRoundSealed is returned by Add/AddBatch once Seal has been called:
@@ -36,7 +46,8 @@ const (
 // PipelineConfig sizes one round's ingest pipeline.
 type PipelineConfig struct {
 	// ServiceName, Verify, Dim, Round fix the round's identity and trust
-	// policy, exactly as NewAggregator's parameters do.
+	// policy: only contributions endorsed by a vetted Glimmer's signing
+	// key, for this service, round, and dimensionality, count.
 	//
 	// Verify may be nil, which disables signature verification: the
 	// pipeline then trusts its transport entirely. That mode exists for

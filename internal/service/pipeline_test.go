@@ -168,7 +168,14 @@ func TestPipelineShardedSumEqualsSerial(t *testing.T) {
 		raws[i] = signedVector(t, key, "svc", round, randomVector(rng, dim))
 	}
 
-	serial := NewAggregator("svc", key.Public(), dim, round)
+	serial := NewPipeline(PipelineConfig{
+		ServiceName: "svc",
+		Verify:      key.Public(),
+		Dim:         dim,
+		Round:       round,
+		Workers:     1,
+		Shards:      1,
+	})
 	for _, raw := range raws {
 		if err := serial.Add(raw); err != nil {
 			t.Fatal(err)

@@ -1,0 +1,381 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"glimmers/internal/glimmer"
+	"glimmers/internal/xcrypto"
+)
+
+// The multi-tenant hosting layer: one Registry owns N tenants — each a
+// hosted service with its own predicate, contribution key, glimmer config,
+// and RoundManager — under one shared live-round budget. The paper's whole
+// point is that a single glimmer substrate serves many services (§4.1 bot
+// detection and §4.2 hosted glimmers are two tenants of the same trust
+// mechanism); the Registry is the server-side shape of that claim.
+
+// DefaultMaxTotalRounds bounds the live pipelines a Registry's tenants may
+// hold collectively when no explicit budget size is given.
+const DefaultMaxTotalRounds = 256
+
+// Registry and budget errors.
+var (
+	// ErrUnknownTenant is returned when a contribution (or a hosting
+	// request) names a service the registry does not host.
+	ErrUnknownTenant = errors.New("service: unknown tenant")
+	// ErrTenantExists is returned by AddTenant for a duplicate name.
+	ErrTenantExists = errors.New("service: tenant already registered")
+	// ErrBudgetExhausted is returned by ingest when the shared budget is
+	// full and no tenant holds an evictable open round.
+	ErrBudgetExhausted = errors.New("service: shared round budget exhausted")
+)
+
+// Budget is the shared live-round budget across a registry's tenants: a
+// global cap on pipelines in memory, enforced at ingest-driven round
+// admission. When the cap is hit, the budget evicts the least-filled open
+// round of the tenant holding the most live rounds — cross-tenant fair
+// eviction: the heaviest user of the shared resource gives a round back,
+// so one tenant's round spray can never starve the others. Sealed and
+// closed rounds still count against the budget (they hold memory) but are
+// never evicted; a budget wedged by consumed-but-unforgotten rounds is
+// released by Forget.
+type Budget struct {
+	max int
+
+	mu sync.Mutex
+	// reserved counts admission slots claimed but not yet settled; live
+	// counts each member's registered rounds. Their sum is the budget's
+	// occupancy.
+	reserved int
+	members  []*RoundManager
+	live     map[*RoundManager]int
+}
+
+// NewBudget creates a budget for at most max live rounds across every
+// attached manager (<= 0 means DefaultMaxTotalRounds).
+func NewBudget(max int) *Budget {
+	if max <= 0 {
+		max = DefaultMaxTotalRounds
+	}
+	return &Budget{max: max, live: make(map[*RoundManager]int)}
+}
+
+// attach registers a manager with the budget (via RoundManager.UseBudget).
+// Attachment order breaks eviction ties, so it is part of the budget's
+// deterministic behaviour.
+func (b *Budget) attach(m *RoundManager) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.live[m]; !ok {
+		b.members = append(b.members, m)
+		b.live[m] = 0
+	}
+}
+
+// Live reports the budget's occupancy (registered rounds plus in-flight
+// reservations).
+func (b *Budget) Live() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.occupancyLocked()
+}
+
+func (b *Budget) occupancyLocked() int {
+	n := b.reserved
+	for _, c := range b.live {
+		n += c
+	}
+	return n
+}
+
+// reserve claims one admission slot for m, evicting cross-tenant when the
+// budget is full. The returned victims (already deregistered from their
+// managers and debited here) must be Closed by the caller outside every
+// lock; they are returned even alongside ErrBudgetExhausted.
+func (b *Budget) reserve(m *RoundManager) ([]*Pipeline, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var victims []*Pipeline
+	for b.occupancyLocked() >= b.max {
+		p, owner := b.evictLocked()
+		if p == nil {
+			return victims, ErrBudgetExhausted
+		}
+		b.live[owner]--
+		victims = append(victims, p)
+	}
+	b.reserved++
+	return victims, nil
+}
+
+// evictLocked takes one open round from the heaviest member (attachment
+// order breaks ties; members with nothing evictable are skipped).
+func (b *Budget) evictLocked() (*Pipeline, *RoundManager) {
+	tried := make(map[*RoundManager]bool, len(b.members))
+	for len(tried) < len(b.members) {
+		var heaviest *RoundManager
+		for _, m := range b.members {
+			if tried[m] {
+				continue
+			}
+			if heaviest == nil || b.live[m] > b.live[heaviest] {
+				heaviest = m
+			}
+		}
+		if p, ok := heaviest.dropLeastFilled(); ok {
+			return p, heaviest
+		}
+		tried[heaviest] = true
+	}
+	return nil, nil
+}
+
+// settle converts a reservation into a live round (created) or releases it
+// (the round already existed, or admission was refused for other reasons).
+func (b *Budget) settle(m *RoundManager, created bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.reserved--
+	if created {
+		b.live[m]++
+	}
+}
+
+// noteCreated books an operator-created round (RoundManager.Round and the
+// Seal/Close paths). Operator creation is charged but never blocked: the
+// budget may run over its cap until ingest-driven admission rebalances it.
+func (b *Budget) noteCreated(m *RoundManager) {
+	b.mu.Lock()
+	b.live[m]++
+	b.mu.Unlock()
+}
+
+// noteRemoved releases n rounds m no longer holds (Forget, per-manager cap
+// eviction).
+func (b *Budget) noteRemoved(m *RoundManager, n int) {
+	b.mu.Lock()
+	b.live[m] -= n
+	b.mu.Unlock()
+}
+
+// TenantConfig describes one hosted service.
+type TenantConfig struct {
+	// Name is the tenant's service name — the routing key every
+	// contribution carries and every client names in its hello.
+	Name string
+	// Verify checks the tenant's glimmer-signed contributions; nil
+	// disables signature verification (pre-authenticated ingest only).
+	Verify *xcrypto.VerifyKey
+	// Dim is the tenant's contribution dimensionality.
+	Dim int
+
+	// Workers, Shards, and ExpectedCohort size each round's pipeline (see
+	// PipelineConfig).
+	Workers        int
+	Shards         int
+	ExpectedCohort int
+
+	// MaxRounds, RoundWindow, and EvictAtCap are the tenant's admission
+	// quota (see the RoundManager fields of the same names). The quota is
+	// per-tenant; the Registry's Budget is the global cap on top.
+	MaxRounds   int
+	RoundWindow uint64
+	EvictAtCap  bool
+
+	// Glimmer, when its ServiceName is set, is the enclave configuration
+	// the hosting front end (internal/gaas) loads for this tenant's user
+	// sessions; Provision readies each freshly loaded device. A tenant
+	// without a Glimmer config is ingest-only.
+	Glimmer   glimmer.Config
+	Provision func(*glimmer.Device) error
+}
+
+// Tenant is one registered service: its configuration and the RoundManager
+// that aggregates for it.
+type Tenant struct {
+	cfg     TenantConfig
+	manager *RoundManager
+}
+
+// Name returns the tenant's service name.
+func (t *Tenant) Name() string { return t.cfg.Name }
+
+// Config returns the tenant's configuration.
+func (t *Tenant) Config() TenantConfig { return t.cfg }
+
+// Manager returns the tenant's round manager.
+func (t *Tenant) Manager() *RoundManager { return t.manager }
+
+// Registry owns the tenants of a multi-tenant deployment and routes every
+// submitted contribution to its tenant's pipeline by an alloc-free header
+// peek. It satisfies gaas.Ingestor (batch ingest with frame-level routing)
+// and gaas.HostResolver (per-tenant enclave hosting). All methods are safe
+// for concurrent use; AddTenant must happen before traffic is served.
+type Registry struct {
+	budget *Budget
+
+	mu      sync.RWMutex
+	tenants map[string]*Tenant
+
+	// rejected counts registry-level refusals: unroutable bytes and
+	// unknown tenants. Refusals inside a tenant are counted by that
+	// tenant's manager and pipelines.
+	rejected atomic.Int64
+}
+
+// NewRegistry creates a registry whose tenants share a budget of at most
+// maxTotalRounds live rounds (<= 0 means DefaultMaxTotalRounds).
+func NewRegistry(maxTotalRounds int) *Registry {
+	return &Registry{
+		budget:  NewBudget(maxTotalRounds),
+		tenants: make(map[string]*Tenant),
+	}
+}
+
+// Budget returns the shared budget, for occupancy inspection.
+func (r *Registry) Budget() *Budget { return r.budget }
+
+// AddTenant registers a service and returns its tenant handle.
+func (r *Registry) AddTenant(cfg TenantConfig) (*Tenant, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("service: tenant with empty name")
+	}
+	if cfg.Dim <= 0 {
+		return nil, fmt.Errorf("service: tenant %q: dimension must be positive", cfg.Name)
+	}
+	// The duplicate check guards manager creation too: a manager attached
+	// to the shared budget cannot be detached, so a refused AddTenant must
+	// not have created one.
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.tenants[cfg.Name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrTenantExists, cfg.Name)
+	}
+	m := NewRoundManager(PipelineConfig{
+		ServiceName:    cfg.Name,
+		Verify:         cfg.Verify,
+		Dim:            cfg.Dim,
+		Workers:        cfg.Workers,
+		Shards:         cfg.Shards,
+		ExpectedCohort: cfg.ExpectedCohort,
+	})
+	m.MaxRounds = cfg.MaxRounds
+	m.RoundWindow = cfg.RoundWindow
+	m.EvictAtCap = cfg.EvictAtCap
+	m.UseBudget(r.budget)
+	t := &Tenant{cfg: cfg, manager: m}
+	r.tenants[cfg.Name] = t
+	return t, nil
+}
+
+// Tenant returns the named tenant.
+func (r *Registry) Tenant(name string) (*Tenant, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.tenants[name]
+	return t, ok
+}
+
+// Tenants lists the registered tenants in name order.
+func (r *Registry) Tenants() []*Tenant {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Tenant, 0, len(r.tenants))
+	for _, t := range r.tenants {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].cfg.Name < out[j].cfg.Name })
+	return out
+}
+
+// Rejected reports registry-level refusals (unroutable bytes, unknown
+// tenants). Per-tenant refusals live in each tenant's manager/pipelines.
+func (r *Registry) Rejected() int { return int(r.rejected.Load()) }
+
+func (r *Registry) refuse(err error) error {
+	r.rejected.Add(1)
+	return err
+}
+
+// lookup resolves a peeked service-name view without allocating: indexing
+// a map by string(bytes) compiles to an allocation-free lookup.
+func (r *Registry) lookup(name []byte) *Tenant {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.tenants[string(name)]
+}
+
+// Ingest routes one encoded contribution to its tenant's manager.
+func (r *Registry) Ingest(raw []byte) error {
+	name, err := glimmer.PeekContributionService(raw)
+	if err != nil {
+		return r.refuse(fmt.Errorf("service: %w", err))
+	}
+	t := r.lookup(name)
+	if t == nil {
+		return r.refuse(fmt.Errorf("%w: %q", ErrUnknownTenant, name))
+	}
+	return t.manager.Ingest(raw)
+}
+
+// IngestBatch routes a batch of encoded contributions, grouping them by
+// tenant so each tenant's sub-batch rides its own manager (which groups
+// further by round). It returns the number accepted and one error slot per
+// input, aligned with raws. The routing peek itself allocates nothing; the
+// grouping costs O(len(raws)) bookkeeping per call.
+func (r *Registry) IngestBatch(raws [][]byte) (int, []error) {
+	errs := make([]error, len(raws))
+	groups := make(map[*Tenant][]int)
+	for i, raw := range raws {
+		name, err := glimmer.PeekContributionService(raw)
+		if err != nil {
+			errs[i] = r.refuse(fmt.Errorf("service: %w", err))
+			continue
+		}
+		t := r.lookup(name)
+		if t == nil {
+			errs[i] = r.refuse(fmt.Errorf("%w: %q", ErrUnknownTenant, name))
+			continue
+		}
+		groups[t] = append(groups[t], i)
+	}
+	accepted := 0
+	for t, idx := range groups {
+		batch := make([][]byte, len(idx))
+		for j, i := range idx {
+			batch[j] = raws[i]
+		}
+		n, terrs := t.manager.IngestBatch(batch)
+		accepted += n
+		for j, err := range terrs {
+			errs[idx[j]] = err
+		}
+	}
+	return accepted, errs
+}
+
+// ResolveHost returns the enclave configuration and provisioning hook for
+// the named tenant — the gaas.HostResolver side of the registry. An empty
+// name resolves only when exactly one tenant is registered (the
+// single-tenant deployment's legacy hello).
+func (r *Registry) ResolveHost(name string) (glimmer.Config, func(*glimmer.Device) error, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t := r.tenants[name]
+	if t == nil && name == "" && len(r.tenants) == 1 {
+		for _, only := range r.tenants {
+			t = only
+		}
+	}
+	if t == nil {
+		return glimmer.Config{}, nil, fmt.Errorf("%w: %q", ErrUnknownTenant, name)
+	}
+	if t.cfg.Glimmer.ServiceName == "" {
+		return glimmer.Config{}, nil, fmt.Errorf("service: tenant %q does not host glimmers", name)
+	}
+	return t.cfg.Glimmer, t.cfg.Provision, nil
+}

@@ -67,6 +67,11 @@ type RoundManager struct {
 	// Explicitly created rounds (Round) are not subject to it.
 	RoundWindow uint64
 
+	// budget, when non-nil, charges every live round against a cap shared
+	// with other managers (multi-tenant hosting: see Registry). Set via
+	// UseBudget before serving traffic.
+	budget *Budget
+
 	mu     sync.Mutex
 	rounds map[uint64]*Pipeline
 	vetted map[tee.Measurement]bool
@@ -108,11 +113,26 @@ func (m *RoundManager) refuse(err error) error {
 	return err
 }
 
+// UseBudget charges this manager's live rounds against a shared budget
+// (see Budget). Must be called before the manager serves traffic; the
+// Registry wires it for every tenant it creates.
+func (m *RoundManager) UseBudget(b *Budget) {
+	m.budget = b
+	b.attach(m)
+}
+
 // Round returns the pipeline for the given round, creating it if needed.
+// Explicit creation is operator-driven: it is charged to the shared budget
+// when one is attached, but never blocked by it.
 func (m *RoundManager) Round(round uint64) *Pipeline {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.roundLocked(round)
+	_, existed := m.rounds[round]
+	p := m.roundLocked(round)
+	m.mu.Unlock()
+	if !existed && m.budget != nil {
+		m.budget.noteCreated(m)
+	}
+	return p
 }
 
 func (m *RoundManager) roundLocked(round uint64) *Pipeline {
@@ -168,72 +188,142 @@ func (m *RoundManager) isVetted(meas tee.Measurement) bool {
 }
 
 // ingestRound creates a verified contribution's round, refusing past the
-// MaxRounds cap. Evicted pipelines are closed only after the manager lock
-// is released: Close drains the victim's in-flight batches, and holding
-// m.mu through that drain would stall ingest for every other round.
+// MaxRounds cap (and, when a shared budget is attached, past the global
+// cap). Evicted pipelines are closed only after the manager lock is
+// released: Close drains the victim's in-flight batches, and holding m.mu
+// through that drain would stall ingest for every other round.
 func (m *RoundManager) ingestRound(round uint64) (*Pipeline, error) {
-	p, victims, err := m.admitRound(round)
+	// Cheap refusals come before the budget round-trip: a round that
+	// already exists needs no slot, and an out-of-window round must be
+	// refused without touching the budget — reserving first would let a
+	// vetted client spraying out-of-window rounds evict other tenants'
+	// rounds without ever creating one of its own.
+	if p, err := m.precheckAdmission(round); p != nil || err != nil {
+		return p, err
+	}
+	// Reserve a global slot before per-manager admission: the budget may
+	// evict a round from another manager (or this one), which must not
+	// happen under m.mu.
+	if m.budget != nil {
+		victims, err := m.budget.reserve(m)
+		for _, v := range victims {
+			v.Close()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	p, victims, created, err := m.admitRound(round)
+	if m.budget != nil {
+		m.budget.settle(m, created && err == nil)
+		if len(victims) > 0 {
+			m.budget.noteRemoved(m, len(victims))
+		}
+	}
 	for _, v := range victims {
 		v.Close()
 	}
 	return p, err
 }
 
-func (m *RoundManager) admitRound(round uint64) (*Pipeline, []*Pipeline, error) {
+// precheckAdmission runs the admission checks that need no budget slot:
+// an existing round is returned as-is, and an out-of-window round is
+// refused. admitRound repeats both checks under the same lock (the state
+// may move between the two acquisitions); this pass only guarantees the
+// cheap refusals cost nothing globally.
+func (m *RoundManager) precheckAdmission(round uint64) (*Pipeline, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if p, ok := m.rounds[round]; ok {
-		return p, nil, nil
+		return p, nil
 	}
-	if m.RoundWindow > 0 {
-		anchor, anchored := uint64(0), false
-		for r, p := range m.rounds {
-			if p.Count() >= 2 && (!anchored || r > anchor) {
-				anchor, anchored = r, true
-			}
+	return nil, m.windowRefusesLocked(round)
+}
+
+// windowRefusesLocked applies the RoundWindow admission rule.
+func (m *RoundManager) windowRefusesLocked(round uint64) error {
+	if m.RoundWindow == 0 {
+		return nil
+	}
+	anchor, anchored := uint64(0), false
+	for r, p := range m.rounds {
+		if p.Count() >= 2 && (!anchored || r > anchor) {
+			anchor, anchored = r, true
 		}
-		if anchored {
-			outsideAbove := round > anchor && round-anchor > m.RoundWindow
-			outsideBelow := round < anchor && anchor-round > m.RoundWindow
-			if outsideAbove || outsideBelow {
-				return nil, nil, ErrRoundOutOfWindow
-			}
-		}
+	}
+	if !anchored {
+		return nil
+	}
+	outsideAbove := round > anchor && round-anchor > m.RoundWindow
+	outsideBelow := round < anchor && anchor-round > m.RoundWindow
+	if outsideAbove || outsideBelow {
+		return ErrRoundOutOfWindow
+	}
+	return nil
+}
+
+func (m *RoundManager) admitRound(round uint64) (p *Pipeline, victims []*Pipeline, created bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p, ok := m.rounds[round]; ok {
+		return p, nil, false, nil
+	}
+	if err := m.windowRefusesLocked(round); err != nil {
+		return nil, nil, false, err
 	}
 	max := m.MaxRounds
 	if max <= 0 {
 		max = DefaultMaxRounds
 	}
-	var victims []*Pipeline
 	for len(m.rounds) >= max {
 		if !m.EvictAtCap {
-			return nil, victims, ErrTooManyRounds
+			return nil, victims, false, ErrTooManyRounds
 		}
-		// Only open rounds are evictable: a sealed or closed pipeline
-		// stays registered so its anti-reopen guarantee (stragglers get
-		// ErrRoundSealed/ErrRoundClosed, never a fresh dedup set) holds.
-		// Among open rounds the least-filled loses; on a count tie the
-		// highest round number loses, so a client spraying ascending
-		// fresh rounds evicts its own spray before a round that opened
-		// earlier.
-		var victim uint64
-		victimCount, found := 0, false
-		for r, p := range m.rounds {
-			if !p.open() {
-				continue
-			}
-			c := p.Count()
-			if !found || c < victimCount || (c == victimCount && r > victim) {
-				victim, victimCount, found = r, c, true
-			}
-		}
+		victim, found := m.evictLeastFilledLocked()
 		if !found {
-			return nil, victims, ErrTooManyRounds
+			return nil, victims, false, ErrTooManyRounds
 		}
-		victims = append(victims, m.rounds[victim])
-		delete(m.rounds, victim)
+		victims = append(victims, victim)
 	}
-	return m.roundLocked(round), victims, nil
+	return m.roundLocked(round), victims, true, nil
+}
+
+// evictLeastFilledLocked removes and returns the least-filled open round.
+// Only open rounds are evictable: a sealed or closed pipeline stays
+// registered so its anti-reopen guarantee (stragglers get
+// ErrRoundSealed/ErrRoundClosed, never a fresh dedup set) holds. Among
+// open rounds the least-filled loses; on a count tie the highest round
+// number loses, so a client spraying ascending fresh rounds evicts its own
+// spray before a round that opened earlier. The caller must Close the
+// victim outside m.mu.
+func (m *RoundManager) evictLeastFilledLocked() (*Pipeline, bool) {
+	var victim uint64
+	victimCount, found := 0, false
+	for r, p := range m.rounds {
+		if !p.open() {
+			continue
+		}
+		c := p.Count()
+		if !found || c < victimCount || (c == victimCount && r > victim) {
+			victim, victimCount, found = r, c, true
+		}
+	}
+	if !found {
+		return nil, false
+	}
+	p := m.rounds[victim]
+	delete(m.rounds, victim)
+	return p, true
+}
+
+// dropLeastFilled is the shared budget's cross-tenant eviction hook: it
+// removes and returns this manager's least-filled open round, or reports
+// that nothing here is evictable. The budget adjusts its own accounting;
+// the caller Closes the victim outside every lock.
+func (m *RoundManager) dropLeastFilled() (*Pipeline, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.evictLeastFilledLocked()
 }
 
 // Ingest routes one encoded contribution to its round's pipeline. A
@@ -340,6 +430,9 @@ func (m *RoundManager) Forget(round uint64) {
 	delete(m.rounds, round)
 	m.mu.Unlock()
 	if ok {
+		if m.budget != nil {
+			m.budget.noteRemoved(m, 1)
+		}
 		p.Close()
 	}
 }

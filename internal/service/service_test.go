@@ -41,6 +41,20 @@ func TestSetPredicateRejectsUnverifiable(t *testing.T) {
 	}
 }
 
+// serialPipeline is the strictly serial pipeline (one worker, one shard)
+// the policy tests exercise — the configuration the old Aggregator facade
+// provided.
+func serialPipeline(name string, verify *xcrypto.VerifyKey, dim int, round uint64) *Pipeline {
+	return NewPipeline(PipelineConfig{
+		ServiceName: name,
+		Verify:      verify,
+		Dim:         dim,
+		Round:       round,
+		Workers:     1,
+		Shards:      1,
+	})
+}
+
 // signedContribution fabricates a contribution signed by key.
 func signedContribution(t *testing.T, key *xcrypto.SigningKey, name string, round uint64, dim int) glimmer.SignedContribution {
 	t.Helper()
@@ -64,7 +78,7 @@ func TestAggregatorPolicyChecks(t *testing.T) {
 		t.Fatal(err)
 	}
 	const dim, round = 4, uint64(2)
-	agg := NewAggregator("svc", key.Public(), dim, round)
+	agg := serialPipeline("svc", key.Public(), dim, round)
 	agg.Vet(tee.Measurement{1, 2, 3})
 
 	good := signedContribution(t, key, "svc", round, dim)
@@ -125,7 +139,7 @@ func TestAggregatorGarbageAndEmptyMean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	agg := NewAggregator("svc", key.Public(), 4, 1)
+	agg := serialPipeline("svc", key.Public(), 4, 1)
 	if err := agg.Add([]byte("garbage")); err == nil {
 		t.Fatal("garbage accepted")
 	}
@@ -142,7 +156,7 @@ func TestAggregatorWithoutAllowlistAcceptsAnyMeasurement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	agg := NewAggregator("svc", key.Public(), 4, 1)
+	agg := serialPipeline("svc", key.Public(), 4, 1)
 	sc := signedContribution(t, key, "svc", 1, 4)
 	if err := agg.Add(glimmer.EncodeSignedContribution(sc)); err != nil {
 		t.Fatalf("no-allowlist aggregator refused contribution: %v", err)

@@ -22,10 +22,16 @@ func BenchmarkSimRound(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sim, err := newSimulation("bench", cfg)
+	st, err := newStack(cfg.Transport, cfg.Rounds+16)
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer st.shutdown()
+	sim, err := newSimulation("bench", cfg, st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim.soleTenant = true
 	defer sim.shutdown()
 	b.ResetTimer()
 	rep, err := sim.run()

@@ -1,0 +1,320 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"glimmers/internal/glimmer"
+	"glimmers/internal/service"
+)
+
+// MultiScenario drives several tenants — typically a mix of range
+// aggregation and the botdetect workload — through one shared hosting
+// stack concurrently: one registry, one shared round budget, one gaas
+// front end (for the pipe/TCP transports), with every tenant's traffic
+// interleaving through the same frame-level routing the production daemon
+// uses. Each tenant runs its own seeded fault plan; on top of the
+// per-tenant invariants (exact sums, exact rejection accounting) the multi
+// run enforces the cross-tenant isolation invariants:
+//
+//   - no contribution is ever counted in another tenant's sums: every
+//     tenant's sealed aggregates remain exact despite the other tenants'
+//     concurrent traffic and faults;
+//   - routing-level refusals (unroutable garbage, unknown tenants) are
+//     accounted exactly by the shared registry counter;
+//   - deliberate cross-tenant probes after the runs — a replay of one
+//     tenant's accepted contribution, the same contribution re-encoded
+//     under another tenant's name, and a contribution naming a tenant
+//     that does not exist — are all refused, land in exactly the expected
+//     counter, and move no tenant's sums or counts.
+//
+// Determinism: each tenant's trace is a pure function of its own seed
+// (stragglers aside), because isolation holds — that per-tenant traces
+// survive concurrent co-tenants unchanged is itself part of what the
+// scenario verifies.
+type MultiScenario struct {
+	Name string
+	// Tenants are the per-tenant workloads. Empty ServiceNames are
+	// assigned tenant<i>.glimmers.example; names must be distinct. A zero
+	// Seed gets a distinct per-tenant default.
+	Tenants []Config
+	// Transport applies to every tenant (per-tenant Transport fields are
+	// overridden): all lanes share one stack.
+	Transport TransportKind
+	// TotalRoundBudget sizes the registry's shared budget (0 = generous:
+	// the sum of every tenant's quota).
+	TotalRoundBudget int
+}
+
+// MultiReport is the outcome of one multi-tenant run.
+type MultiReport struct {
+	Scenario string
+	// Reports holds each tenant's report, in Tenants order.
+	Reports []*Report
+	// RegistryRejected is the shared registry's routing-refusal count at
+	// the end of the run (including the cross-tenant probes).
+	RegistryRejected int
+	Elapsed          time.Duration
+	// Violations lists cross-tenant invariant breaches; per-tenant
+	// breaches live in the tenant reports.
+	Violations []string
+}
+
+// Ok reports whether every invariant — per-tenant and cross-tenant — held.
+func (r *MultiReport) Ok() bool {
+	if len(r.Violations) > 0 {
+		return false
+	}
+	for _, rep := range r.Reports {
+		if !rep.Ok() {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary is a one-line human summary.
+func (r *MultiReport) Summary() string {
+	parts := make([]string, len(r.Reports))
+	for i, rep := range r.Reports {
+		parts[i] = rep.Summary()
+	}
+	status := "OK"
+	if !r.Ok() {
+		status = "VIOLATIONS"
+	}
+	return fmt.Sprintf("%s: %d tenants %s\n  %s", r.Scenario, len(r.Reports), status, strings.Join(parts, "\n  "))
+}
+
+// Run executes the multi-tenant scenario.
+func (s MultiScenario) Run() (*MultiReport, error) {
+	if len(s.Tenants) == 0 {
+		return nil, errors.New("sim: multi-tenant scenario without tenants")
+	}
+	cfgs := make([]Config, len(s.Tenants))
+	budget := s.TotalRoundBudget
+	names := make(map[string]bool, len(s.Tenants))
+	for i, tcfg := range s.Tenants {
+		tcfg.Transport = s.Transport
+		if tcfg.ServiceName == "" {
+			tcfg.ServiceName = fmt.Sprintf("tenant%d.glimmers.example", i)
+		}
+		if tcfg.Seed == 0 {
+			tcfg.Seed = int64(1009 + 7919*i)
+		}
+		cfg, err := tcfg.withDefaults()
+		if err != nil {
+			return nil, err
+		}
+		if names[cfg.ServiceName] {
+			return nil, fmt.Errorf("sim: duplicate tenant name %q", cfg.ServiceName)
+		}
+		names[cfg.ServiceName] = true
+		cfgs[i] = cfg
+		if s.TotalRoundBudget == 0 {
+			budget += cfg.Rounds + 16
+		}
+	}
+
+	start := time.Now()
+	st, err := newStack(s.Transport, budget)
+	if err != nil {
+		return nil, err
+	}
+	defer st.shutdown()
+
+	sims := make([]*simulation, len(cfgs))
+	for i, cfg := range cfgs {
+		sim, err := newSimulation(cfg.ServiceName, cfg, st)
+		if err != nil {
+			return nil, err
+		}
+		defer sim.shutdown()
+		sims[i] = sim
+	}
+
+	// All tenants run concurrently: their batches interleave through the
+	// shared registry (and, over pipe/TCP, the shared front end).
+	rep := &MultiReport{Scenario: s.Name, Reports: make([]*Report, len(sims))}
+	var wg sync.WaitGroup
+	errs := make([]error, len(sims))
+	for i, sim := range sims {
+		wg.Add(1)
+		go func(i int, sim *simulation) {
+			defer wg.Done()
+			rep.Reports[i], errs[i] = sim.run()
+		}(i, sim)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	violate := func(format string, args ...any) {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(format, args...))
+	}
+
+	// Routing accounting: the shared registry counter must equal exactly
+	// the unroutable traffic every tenant injected.
+	wantRouting := 0
+	for _, sim := range sims {
+		wantRouting += sim.observedRoutingRejects
+	}
+	if got := st.registry.Rejected(); got != wantRouting {
+		violate("routing accounting: registry counted %d, tenants injected %d", got, wantRouting)
+	}
+
+	s.probeIsolation(st, sims, violate)
+
+	rep.RegistryRejected = st.registry.Rejected()
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// tenantSnapshot is one tenant's externally observable aggregation state.
+type tenantSnapshot struct {
+	counts    map[uint64]int
+	digests   map[uint64]string
+	rejected  int
+	managerRj int
+}
+
+func snapshotTenant(s *simulation) tenantSnapshot {
+	snap := tenantSnapshot{
+		counts:    make(map[uint64]int),
+		digests:   make(map[uint64]string),
+		managerRj: s.w.manager.Rejected(),
+	}
+	for _, r := range s.w.manager.Rounds() {
+		if p, ok := s.w.manager.Lookup(r); ok {
+			snap.counts[r] = p.Count()
+			snap.digests[r] = sumDigest(p.Sum())
+			snap.rejected += p.Rejected()
+		}
+	}
+	return snap
+}
+
+// probeIsolation fires deliberate cross-tenant attacks after the runs and
+// verifies each is refused, is booked in exactly the expected counter, and
+// moves nothing else.
+func (s MultiScenario) probeIsolation(st *stack, sims []*simulation, violate func(string, ...any)) {
+	before := make([]tenantSnapshot, len(sims))
+	for i, sim := range sims {
+		before[i] = snapshotTenant(sim)
+	}
+	registryBefore := st.registry.Rejected()
+	// Expected per-tenant rejection deltas from the probes: a refusal on a
+	// round the victim has registered lands in that round's pipeline
+	// counter; a refusal for a round the victim never ran (tenants may run
+	// different round counts) lands in its manager counter.
+	wantPipeDelta := make([]int, len(sims))
+	wantMgrDelta := make([]int, len(sims))
+	wantRegistry := 0
+
+	for i, sim := range sims {
+		round, raw := sim.acceptedSample()
+		if raw == nil {
+			violate("tenant %s: no accepted contribution to probe with", sim.cfg.ServiceName)
+			continue
+		}
+		// Probe 1: replay the tenant's own accepted contribution. It routes
+		// home and the (closed) round must refuse it.
+		if err := st.registry.Ingest(raw); !errors.Is(err, service.ErrRoundClosed) {
+			violate("tenant %s: post-run replay returned %v, want ErrRoundClosed", sim.cfg.ServiceName, err)
+		}
+		wantPipeDelta[i]++
+
+		// Probe 2: the same contribution re-encoded under the next tenant's
+		// name — frame-level routing must deliver it there and that tenant
+		// must refuse it (the signature covers the name, so the splice can
+		// never verify).
+		if len(sims) > 1 {
+			j := (i + 1) % len(sims)
+			spliced, err := renameContribution(raw, sims[j].cfg.ServiceName)
+			if err != nil {
+				violate("tenant %s: splicing probe: %v", sim.cfg.ServiceName, err)
+			} else {
+				_, roundKnown := sims[j].w.manager.Lookup(round)
+				if err := st.registry.Ingest(spliced); err == nil {
+					violate("tenant %s: contribution spliced onto %s was accepted",
+						sim.cfg.ServiceName, sims[j].cfg.ServiceName)
+				} else if roundKnown {
+					wantPipeDelta[j]++
+				} else {
+					wantMgrDelta[j]++
+				}
+			}
+		}
+
+		// Probe 3: a contribution naming a tenant that does not exist must
+		// be refused at the registry, touching no tenant.
+		ghost, err := renameContribution(raw, "ghost.invalid")
+		if err != nil {
+			violate("tenant %s: ghost probe: %v", sim.cfg.ServiceName, err)
+			continue
+		}
+		if err := st.registry.Ingest(ghost); !errors.Is(err, service.ErrUnknownTenant) {
+			violate("tenant %s: unknown-tenant probe returned %v, want ErrUnknownTenant", sim.cfg.ServiceName, err)
+		}
+		wantRegistry++
+	}
+
+	if got := st.registry.Rejected(); got != registryBefore+wantRegistry {
+		violate("registry rejected %d after probes, want %d", got, registryBefore+wantRegistry)
+	}
+	for i, sim := range sims {
+		after := snapshotTenant(sim)
+		name := sim.cfg.ServiceName
+		if after.managerRj != before[i].managerRj+wantMgrDelta[i] {
+			violate("tenant %s: manager rejections %d after probes, want %d",
+				name, after.managerRj, before[i].managerRj+wantMgrDelta[i])
+		}
+		if after.rejected != before[i].rejected+wantPipeDelta[i] {
+			violate("tenant %s: pipeline rejections %d after probes, want %d",
+				name, after.rejected, before[i].rejected+wantPipeDelta[i])
+		}
+		for r, c := range before[i].counts {
+			if after.counts[r] != c {
+				violate("tenant %s round %d: count moved (%d -> %d) under probes", name, r, c, after.counts[r])
+			}
+			if after.digests[r] != before[i].digests[r] {
+				violate("tenant %s round %d: aggregate moved under probes", name, r)
+			}
+		}
+	}
+}
+
+// renameContribution re-encodes an accepted contribution under a different
+// service name without re-signing — the cross-tenant forgery the signature
+// domain must make useless.
+func renameContribution(raw []byte, name string) ([]byte, error) {
+	sc, err := glimmer.DecodeSignedContribution(raw)
+	if err != nil {
+		return nil, err
+	}
+	sc.ServiceName = name
+	return glimmer.EncodeSignedContribution(sc), nil
+}
+
+// acceptedSample returns a deterministic accepted contribution (lowest
+// round, then lowest device) retained from the run, for isolation probes.
+func (s *simulation) acceptedSample() (uint64, []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bestRound, bestDevice := uint64(0), 0
+	var best []byte
+	for r, byDev := range s.acceptedRaw {
+		for d, raw := range byDev {
+			if best == nil || r < bestRound || (r == bestRound && d < bestDevice) {
+				bestRound, bestDevice, best = r, d, raw
+			}
+		}
+	}
+	return bestRound, best
+}

@@ -1,9 +1,12 @@
 package sim
 
 import (
+	"fmt"
 	"math/rand"
 
+	"glimmers/internal/botdetect"
 	"glimmers/internal/fixed"
+	"glimmers/internal/xcrypto"
 )
 
 // The planning pass draws every workload decision — honest values, fault
@@ -31,8 +34,14 @@ type devicePlan struct {
 	// straggler: the (honest) submission is withheld to race Seal.
 	straggler bool
 	// value is the honest contribution (every element in the predicate's
-	// accepted range). Byzantine devices submit a corrupted copy.
+	// accepted range; the fixed verdict vector for botdetect tenants).
+	// Range-workload byzantine devices submit a corrupted copy.
 	value fixed.Vector
+	// private is the private validation bank the predicate inspects:
+	// unused for the range workload, behavioural features for botdetect
+	// (human features for honest devices, bot features for byzantine ones
+	// — the bot session is what the detector refuses).
+	private []int64
 
 	// Injections: extra hostile traffic on top of the primary submission.
 	// Only honest devices inject (a dropout is silent by definition).
@@ -137,6 +146,16 @@ func buildPlan(cfg Config) *plan {
 				honest--
 			}
 		}
+		if cfg.Workload == WorkloadBotdetect {
+			// Every device contributes the fixed verdict vector; what varies
+			// is the private session each brings. Byzantine devices are
+			// bots, refused by the detector inside the enclave.
+			for d := range rp.devices {
+				dp := &rp.devices[d]
+				dp.value = botdetect.VerdictContribution()
+				dp.private = planFeatures(cfg.Seed, round, d, dp.role == roleByzantine)
+			}
+		}
 		p.rounds[r] = rp
 	}
 	// Resolve replays: a replay at step r re-submits this device's
@@ -169,4 +188,25 @@ func byzantineValue(v fixed.Vector) fixed.Vector {
 	out := v.Clone()
 	out[0] = fixed.FromFloat(42.0)
 	return out
+}
+
+// planFeatures draws one session's behavioural feature bank for the
+// botdetect workload, deterministically from the simulation seed. The plan
+// expects honest sessions to classify human and byzantine (bot) sessions
+// to classify bot, so the draw retries with a fresh deterministic trace in
+// the rare case a synthetic session lands on the detector's boundary — the
+// expectation is then guaranteed, not merely probable.
+func planFeatures(seed int64, round uint64, device int, bot bool) []int64 {
+	for attempt := 0; ; attempt++ {
+		prg := xcrypto.NewPRG(fmt.Appendf(nil, "sim/%d/trace/%d/%d/%d", seed, round, device, attempt))
+		var features []int64
+		if bot {
+			features = botdetect.Features(botdetect.BotTrace(prg, 160, 0))
+		} else {
+			features = botdetect.Features(botdetect.HumanTrace(prg, 160))
+		}
+		if botdetect.DefaultDetector.Classify(features) == !bot {
+			return features
+		}
+	}
 }

@@ -1,10 +1,8 @@
 package sim
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sync"
 	"time"
 
@@ -35,6 +33,11 @@ type simulation struct {
 	cfg  Config
 	plan *plan
 	w    *world
+	// soleTenant marks this simulation as the registry's only tenant, so
+	// registry-level rejection accounting can be reconciled here; a
+	// MultiScenario reconciles the shared counter across its tenants
+	// instead.
+	soleTenant bool
 
 	mu sync.Mutex
 	// tallies[r] counts outcomes observed during round r's step (its
@@ -49,10 +52,13 @@ type simulation struct {
 	// rejectedStragglers[r] marks devices whose straggling submission
 	// lost the race; their masks need dropout correction.
 	rejectedStragglers map[uint64]map[int]bool
-	// observedRejects counts every service-side refusal the simulator
+	// observedRejects counts every tenant-level refusal the simulator
 	// observed, to reconcile against manager+pipeline counters at the end.
-	observedRejects int
-	violations      []string
+	// observedRoutingRejects counts refusals that never reach a tenant
+	// (unroutable garbage), which land in the shared registry counter.
+	observedRejects        int
+	observedRoutingRejects int
+	violations             []string
 
 	// pending stragglers by round, generated at the round's step and
 	// released when the round seals.
@@ -61,12 +67,12 @@ type simulation struct {
 	reports []RoundReport
 }
 
-func newSimulation(name string, cfg Config) (*simulation, error) {
+func newSimulation(name string, cfg Config, st *stack) (*simulation, error) {
 	if name == "" {
 		name = "sim"
 	}
 	p := buildPlan(cfg)
-	w, err := newWorld(cfg, p)
+	w, err := newWorld(cfg, p, st)
 	if err != nil {
 		return nil, err
 	}
@@ -135,7 +141,14 @@ func (s *simulation) recordReject(round uint64, cat string) {
 		s.tallies[round] = t
 	}
 	t.add(cat, 1)
-	s.observedRejects++
+	// Garbage never names a tenant, so its refusal is booked by the shared
+	// registry rather than this tenant's manager; every other category is
+	// routed into the tenant and refused there.
+	if cat == CatRejectedGarbage {
+		s.observedRoutingRejects++
+	} else {
+		s.observedRejects++
+	}
 	s.mu.Unlock()
 }
 
@@ -208,16 +221,21 @@ func (s *simulation) generate(rp roundPlan) (wave1, wave2, stragglers []item, er
 			s.tally(rp.round, CatDropout, 1)
 			continue
 		case roleByzantine:
-			// The predicate must refuse the out-of-range value inside the
-			// enclave; nothing reaches the service.
-			if _, cerr := dev.Contribute(rp.round, byzantineValue(dp.value), nil); !errors.Is(cerr, glimmer.ErrRejected) {
+			// The predicate must refuse the byzantine submission inside the
+			// enclave — an out-of-range value for the range workload, a bot
+			// session's features for botdetect; nothing reaches the service.
+			val, priv := dp.value, dp.private
+			if s.cfg.Workload == WorkloadRange {
+				val = byzantineValue(dp.value)
+			}
+			if _, cerr := dev.Contribute(rp.round, val, priv); !errors.Is(cerr, glimmer.ErrRejected) {
 				s.violate("round %d device %d: byzantine contribution not refused client-side (err=%v)", rp.round, d, cerr)
 				continue
 			}
 			s.tally(rp.round, CatClientRejected, 1)
 			continue
 		}
-		sc, cerr := dev.Contribute(rp.round, dp.value, nil)
+		sc, cerr := dev.Contribute(rp.round, dp.value, dp.private)
 		if cerr != nil {
 			return nil, nil, nil, fmt.Errorf("sim: round %d device %d contribute: %w", rp.round, d, cerr)
 		}
@@ -238,7 +256,7 @@ func (s *simulation) generate(rp roundPlan) (wave1, wave2, stragglers []item, er
 			wave2 = append(wave2, item{raw: dp.garbage, expect: CatRejectedGarbage, device: d})
 		}
 		if dp.outOfWindow {
-			scOOW, oerr := dev.Contribute(rp.bogusRound, dp.value, nil)
+			scOOW, oerr := dev.Contribute(rp.bogusRound, dp.value, dp.private)
 			if oerr != nil {
 				return nil, nil, nil, fmt.Errorf("sim: round %d device %d out-of-window contribute: %w", rp.round, d, oerr)
 			}
@@ -522,21 +540,37 @@ func (s *simulation) closeRound(c uint64) {
 	}
 }
 
-// reconcileRejections checks that every observed service-side refusal is
-// accounted for by the manager- and pipeline-level rejection counters.
+// reconcileRejections checks that every observed refusal is accounted for
+// exactly: tenant-level refusals by this tenant's manager- and
+// pipeline-level counters, and (when this is the registry's only tenant)
+// routing-level refusals by the shared registry counter. Multi-tenant runs
+// reconcile the shared counter across tenants in MultiScenario.Run.
 func (s *simulation) reconcileRejections() {
+	counted := s.tenantRejections()
+	s.mu.Lock()
+	observed := s.observedRejects
+	routing := s.observedRoutingRejects
+	s.mu.Unlock()
+	if counted != observed {
+		s.violate("rejection accounting: manager+pipelines counted %d, simulator observed %d", counted, observed)
+	}
+	if s.soleTenant {
+		if got := s.w.stack.registry.Rejected(); got != routing {
+			s.violate("routing accounting: registry counted %d, simulator observed %d", got, routing)
+		}
+	}
+}
+
+// tenantRejections sums this tenant's manager- and pipeline-level refusal
+// counters.
+func (s *simulation) tenantRejections() int {
 	counted := s.w.manager.Rejected()
 	for _, r := range s.w.manager.Rounds() {
 		if p, ok := s.w.manager.Lookup(r); ok {
 			counted += p.Rejected()
 		}
 	}
-	s.mu.Lock()
-	observed := s.observedRejects
-	s.mu.Unlock()
-	if counted != observed {
-		s.violate("rejection accounting: manager+pipelines counted %d, simulator observed %d", counted, observed)
-	}
+	return counted
 }
 
 func vectorsEqual(a, b fixed.Vector) bool {
@@ -552,12 +586,4 @@ func vectorsEqual(a, b fixed.Vector) bool {
 }
 
 // sumDigest is a stable 64-bit digest of an aggregate vector for traces.
-func sumDigest(v fixed.Vector) string {
-	h := fnv.New64a()
-	var buf [8]byte
-	for _, r := range v {
-		binary.BigEndian.PutUint64(buf[:], uint64(r))
-		_, _ = h.Write(buf[:])
-	}
-	return fmt.Sprintf("%016x", h.Sum64())
-}
+func sumDigest(v fixed.Vector) string { return v.Digest() }

@@ -37,6 +37,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"glimmers/internal/botdetect"
 )
 
 // TransportKind selects how signed contributions travel from devices to
@@ -123,6 +125,33 @@ func (f FaultPlan) Active() int {
 	return n
 }
 
+// Workload selects what a tenant's devices contribute and which predicate
+// their Glimmers enforce.
+type Workload int
+
+const (
+	// WorkloadRange: unit-range vectors validated by the paper's canonical
+	// [0,1] check. Byzantine devices submit an out-of-range value.
+	WorkloadRange Workload = iota
+	// WorkloadBotdetect: §4.1 bot detection as an aggregation tenant —
+	// devices contribute the one-bit verdict vector [1], gated by the
+	// behavioural detector over private signals, so a round's exact sum is
+	// its human-session count. Byzantine devices are bots: the detector
+	// refuses their sessions inside the enclave.
+	WorkloadBotdetect
+)
+
+// String names the workload for reports.
+func (w Workload) String() string {
+	switch w {
+	case WorkloadRange:
+		return "range"
+	case WorkloadBotdetect:
+		return "botdetect"
+	}
+	return fmt.Sprintf("workload(%d)", int(w))
+}
+
 // Config sizes one simulation.
 type Config struct {
 	// Seed drives every workload decision. Same seed, same plan.
@@ -155,8 +184,10 @@ type Config struct {
 	// Faults is the adversarial workload.
 	Faults FaultPlan
 
-	// ServiceName names the simulated service.
+	// ServiceName names the simulated service (the tenant's routing key).
 	ServiceName string
+	// Workload selects the tenant's contribution shape and predicate.
+	Workload Workload
 }
 
 // withDefaults fills zero values and validates the configuration.
@@ -169,6 +200,15 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Overlap == 0 {
 		c.Overlap = 1
+	}
+	if c.Workload == WorkloadBotdetect {
+		// The verdict contribution is one bit by construction.
+		if c.Dim == 0 {
+			c.Dim = botdetect.TenantDim
+		}
+		if c.Dim != botdetect.TenantDim {
+			return c, fmt.Errorf("sim: botdetect workload is %d-dimensional, got dim %d", botdetect.TenantDim, c.Dim)
+		}
 	}
 	if c.Dim == 0 {
 		c.Dim = 8
@@ -209,16 +249,24 @@ type Scenario struct {
 	Config Config
 }
 
-// Run executes the scenario.
+// Run executes the scenario: a single-tenant deployment of the full
+// multi-tenant stack (one Registry, one tenant). Use MultiScenario for
+// several tenants sharing the substrate.
 func (s Scenario) Run() (*Report, error) {
 	cfg, err := s.Config.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	sim, err := newSimulation(s.Name, cfg)
+	st, err := newStack(cfg.Transport, cfg.Rounds+16)
 	if err != nil {
 		return nil, err
 	}
+	defer st.shutdown()
+	sim, err := newSimulation(s.Name, cfg, st)
+	if err != nil {
+		return nil, err
+	}
+	sim.soleTenant = true
 	defer sim.shutdown()
 	return sim.run()
 }

@@ -6,7 +6,6 @@ import (
 	"sync/atomic"
 
 	"glimmers/internal/gaas"
-	"glimmers/internal/service"
 	"glimmers/internal/tee"
 )
 
@@ -45,17 +44,23 @@ func (p *transportPool) close() {
 	}
 }
 
-// newDirectPool builds in-process lanes over the manager. The manager is
+// batchIngestor is the in-process submission surface (service.Registry,
+// or a single tenant's RoundManager).
+type batchIngestor interface {
+	IngestBatch(raws [][]byte) (int, []error)
+}
+
+// newDirectPool builds in-process lanes over the ingestor. The ingestor is
 // concurrency-safe, but each lane still serializes its own submissions so
 // Submitters bounds the concurrent IngestBatch callers exactly as it
 // bounds gaas connections — the two transports exercise the same
 // concurrency shape.
-func newDirectPool(mgr *service.RoundManager, n int) *transportPool {
+func newDirectPool(ing batchIngestor, n int) *transportPool {
 	p := &transportPool{lanes: make([]*lane, n)}
 	for i := range p.lanes {
 		p.lanes[i] = &lane{
 			submit: func(batch [][]byte) (int, []error, error) {
-				accepted, errs := mgr.IngestBatch(batch)
+				accepted, errs := ing.IngestBatch(batch)
 				return accepted, errs, nil
 			},
 		}

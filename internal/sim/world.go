@@ -5,6 +5,7 @@ import (
 	"net"
 
 	"glimmers/internal/blind"
+	"glimmers/internal/botdetect"
 	"glimmers/internal/fixed"
 	"glimmers/internal/gaas"
 	"glimmers/internal/glimmer"
@@ -19,16 +20,84 @@ type dropKey struct {
 	device int
 }
 
-// world is the assembled deployment: the real attestation root, platform,
-// service, provisioned Glimmer devices, and the round manager — exactly
-// the pieces a production deployment wires together, none of them mocked.
-type world struct {
-	cfg      Config
+// stack is the shared hosting substrate every tenant of a simulation runs
+// on: one attestation root, one platform, one multi-tenant registry, and —
+// for the gaas transports — one front-end server routing both user
+// sessions (by the tenant named in the hello) and contribution batches (by
+// the service name each contribution carries). This is the cmd/glimmerd
+// topology, assembled from the same pieces.
+type stack struct {
 	as       *tee.AttestationService
 	platform *tee.Platform
-	svc      *service.Service
-	manager  *service.RoundManager
-	devices  []*glimmer.Device
+	registry *service.Registry
+
+	server   *gaas.Server
+	listener net.Listener
+	dial     func() (net.Conn, error)
+}
+
+// newStack assembles the substrate. roundBudget sizes the registry's
+// shared live-round budget.
+func newStack(transport TransportKind, roundBudget int) (*stack, error) {
+	as, err := tee.NewAttestationService()
+	if err != nil {
+		return nil, fmt.Errorf("sim: attestation service: %w", err)
+	}
+	platform, err := tee.NewPlatform(as)
+	if err != nil {
+		return nil, fmt.Errorf("sim: platform: %w", err)
+	}
+	st := &stack{
+		as:       as,
+		platform: platform,
+		registry: service.NewRegistry(roundBudget),
+	}
+	switch transport {
+	case TransportDirect:
+		// In-process ingest; no front end.
+	case TransportPipe, TransportTCP:
+		st.server = gaas.NewTenantServer(platform, st.registry)
+		st.server.SetIngest(st.registry)
+		if transport == TransportTCP {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return nil, fmt.Errorf("sim: listen: %w", err)
+			}
+			st.listener = ln
+			addr := ln.Addr().String()
+			st.dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+		} else {
+			ln := newMemListener()
+			st.listener = ln
+			st.dial = ln.dial
+		}
+		go func() { _ = st.server.Serve(st.listener) }()
+	default:
+		return nil, fmt.Errorf("sim: unknown transport %v", transport)
+	}
+	return st, nil
+}
+
+func (st *stack) shutdown() {
+	if st.listener != nil {
+		_ = st.listener.Close()
+	}
+	if st.server != nil {
+		st.server.Shutdown()
+	}
+}
+
+// world is one tenant's side of the deployment: its cloud service, its
+// registered tenant (predicate, contribution key, round manager), its
+// provisioned Glimmer fleet, and its submission lanes into the shared
+// stack.
+type world struct {
+	cfg     Config
+	stack   *stack
+	svc     *service.Service
+	tenant  *service.Tenant
+	manager *service.RoundManager
+	devices []*glimmer.Device
 
 	// masks[r][i] is device i's dealer mask for round r (real and bogus
 	// rounds alike). The simulator plays the §3 trusted dealer, so it
@@ -38,9 +107,7 @@ type world struct {
 	// distributed at provisioning time as blind.BackupShares would be.
 	dropShares map[dropKey][]blind.Share
 
-	pool     *transportPool
-	server   *gaas.Server
-	listener net.Listener
+	pool *transportPool
 }
 
 // admissionWindow is the RoundWindow the simulated service configures:
@@ -50,26 +117,25 @@ func admissionWindow(cfg Config) uint64 {
 	return uint64(cfg.Overlap + 2)
 }
 
-func newWorld(cfg Config, p *plan) (*world, error) {
-	as, err := tee.NewAttestationService()
-	if err != nil {
-		return nil, fmt.Errorf("sim: attestation service: %w", err)
+// tenantPredicate builds the workload's validation predicate.
+func tenantPredicate(cfg Config) *predicate.Program {
+	if cfg.Workload == WorkloadBotdetect {
+		return botdetect.DefaultDetector.TenantPredicate("bot-tenant")
 	}
-	platform, err := tee.NewPlatform(as)
-	if err != nil {
-		return nil, fmt.Errorf("sim: platform: %w", err)
-	}
-	svc, err := service.New(cfg.ServiceName, as.Root())
+	return predicate.UnitRangeCheck("unit-range", cfg.Dim)
+}
+
+func newWorld(cfg Config, p *plan, st *stack) (*world, error) {
+	svc, err := service.New(cfg.ServiceName, st.as.Root())
 	if err != nil {
 		return nil, fmt.Errorf("sim: service: %w", err)
 	}
-	if err := svc.SetPredicate(predicate.UnitRangeCheck("unit-range", cfg.Dim)); err != nil {
+	if err := svc.SetPredicate(tenantPredicate(cfg)); err != nil {
 		return nil, fmt.Errorf("sim: predicate: %w", err)
 	}
 	w := &world{
 		cfg:        cfg,
-		as:         as,
-		platform:   platform,
+		stack:      st,
 		svc:        svc,
 		masks:      make(map[uint64][]fixed.Vector),
 		dropShares: make(map[dropKey][]blind.Share),
@@ -80,21 +146,34 @@ func newWorld(cfg Config, p *plan) (*world, error) {
 	if err := w.provisionFleet(); err != nil {
 		return nil, err
 	}
-	w.manager = service.NewRoundManager(service.PipelineConfig{
-		ServiceName: cfg.ServiceName,
-		Verify:      svc.ContributionVerifyKey(),
-		Dim:         cfg.Dim,
-		Workers:     cfg.Workers,
-		Shards:      cfg.Shards,
+	// The tenant's hosting enclave (user sessions over gaas); the sim's
+	// devices are local, so it is never provisioned, but its measurement
+	// is what the tenant's clients pin.
+	hostCfg, err := svc.GlimmerConfig(cfg.Dim, glimmer.ModeNone, glimmer.DefaultPolicy)
+	if err != nil {
+		return nil, err
+	}
+	w.tenant, err = st.registry.AddTenant(service.TenantConfig{
+		Name:    cfg.ServiceName,
+		Verify:  svc.ContributionVerifyKey(),
+		Dim:     cfg.Dim,
+		Workers: cfg.Workers,
+		Shards:  cfg.Shards,
 		// Each round's cohort is the fleet (plus injected duplicates and
 		// replays); pre-sizing the dedup shards keeps steady-state ingest
 		// on the zero-allocation path.
 		ExpectedCohort: cfg.Devices + cfg.Devices/2,
+		// Rounds are closed but never forgotten (a forgotten round could be
+		// re-created by a replayed contribution), so the quota covers them
+		// all.
+		MaxRounds:   cfg.Rounds + 8,
+		RoundWindow: admissionWindow(cfg),
+		Glimmer:     hostCfg,
 	})
-	// Rounds are closed but never forgotten (a forgotten round could be
-	// re-created by a replayed contribution), so the cap covers them all.
-	w.manager.MaxRounds = cfg.Rounds + 8
-	w.manager.RoundWindow = admissionWindow(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("sim: tenant: %w", err)
+	}
+	w.manager = w.tenant.Manager()
 	for _, dev := range w.devices {
 		w.manager.Vet(dev.Measurement())
 	}
@@ -120,7 +199,7 @@ func (w *world) dealMasks(p *plan) error {
 		}
 	}
 	for _, round := range rounds {
-		seed := fmt.Appendf(nil, "sim/%d/masks/%d", w.cfg.Seed, round)
+		seed := fmt.Appendf(nil, "sim/%s/%d/masks/%d", w.cfg.ServiceName, w.cfg.Seed, round)
 		masks, err := blind.ZeroSumMasks(seed, w.cfg.Devices, w.cfg.Dim)
 		if err != nil {
 			return fmt.Errorf("sim: dealer masks for round %d: %w", round, err)
@@ -151,7 +230,7 @@ func (w *world) provisionFleet() error {
 	}
 	w.devices = make([]*glimmer.Device, w.cfg.Devices)
 	for i := range w.devices {
-		dev, err := glimmer.NewDevice(w.platform, glimCfg)
+		dev, err := glimmer.NewDevice(w.stack.platform, glimCfg)
 		if err != nil {
 			return fmt.Errorf("sim: device %d: %w", i, err)
 		}
@@ -172,42 +251,23 @@ func (w *world) provisionFleet() error {
 	return nil
 }
 
-// openTransports builds the submission lanes for the configured
-// transport: in-process manager calls, or gaas clients over net.Pipe or
-// loopback TCP against a server that fronts the same manager (the
-// cmd/glimmerd topology).
+// openTransports builds the tenant's submission lanes into the shared
+// stack: in-process registry calls, or gaas clients (each dialing the
+// shared front end and naming this tenant in its hello) over net.Pipe or
+// loopback TCP — the cmd/glimmerd topology.
 func (w *world) openTransports() error {
 	switch w.cfg.Transport {
 	case TransportDirect:
-		w.pool = newDirectPool(w.manager, w.cfg.Submitters)
+		w.pool = newDirectPool(w.stack.registry, w.cfg.Submitters)
 		return nil
 	case TransportPipe, TransportTCP:
-		hostCfg, err := w.svc.GlimmerConfig(w.cfg.Dim, glimmer.ModeNone, glimmer.DefaultPolicy)
+		meas, err := w.stack.server.MeasurementFor(w.cfg.ServiceName)
 		if err != nil {
-			return err
+			return fmt.Errorf("sim: tenant measurement: %w", err)
 		}
-		w.server = gaas.NewServer(w.platform, hostCfg, nil)
-		w.server.SetIngest(w.manager)
-		verifier := &tee.QuoteVerifier{Root: w.as.Root()}
-		verifier.Allow(w.server.Measurement())
-
-		var dial func() (net.Conn, error)
-		if w.cfg.Transport == TransportTCP {
-			ln, err := net.Listen("tcp", "127.0.0.1:0")
-			if err != nil {
-				return fmt.Errorf("sim: listen: %w", err)
-			}
-			w.listener = ln
-			addr := ln.Addr().String()
-			dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
-		} else {
-			ln := newMemListener()
-			w.listener = ln
-			dial = ln.dial
-		}
-		go func() { _ = w.server.Serve(w.listener) }()
-
-		pool, err := newGaasPool(dial, verifier, w.cfg.ServiceName, w.cfg.Submitters)
+		verifier := &tee.QuoteVerifier{Root: w.stack.as.Root()}
+		verifier.Allow(meas)
+		pool, err := newGaasPool(w.stack.dial, verifier, w.cfg.ServiceName, w.cfg.Submitters)
 		if err != nil {
 			return err
 		}
@@ -220,9 +280,6 @@ func (w *world) openTransports() error {
 func (w *world) shutdown() {
 	if w.pool != nil {
 		w.pool.close()
-	}
-	if w.listener != nil {
-		_ = w.listener.Close()
 	}
 	for _, dev := range w.devices {
 		if dev != nil {
