@@ -40,6 +40,7 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -103,6 +104,7 @@ func main() {
 	benchtime := flag.String("benchtime", "full", "workload scale: full or short")
 	runPat := flag.String("run", "", "regexp selecting which benchmarks run")
 	check := flag.String("check", "", "baseline BENCH_*.json to gate allocs/op regressions against (>25% fails)")
+	sweep := flag.String("workers-sweep", "", "comma-separated worker counts: run the scaling sweep (ingest_parallel_wN, ingest_ticketed_parallel_wN) instead of the canonical suite")
 	flag.Parse()
 	if *benchtime != "full" && *benchtime != "short" {
 		fmt.Fprintf(os.Stderr, "bench: -benchtime must be full or short, got %q\n", *benchtime)
@@ -131,7 +133,15 @@ func main() {
 		BenchTime:  *benchtime,
 	}
 	sz := sizesFor(*benchtime)
-	for _, entry := range suite(sz) {
+	entries := suite(sz)
+	if *sweep != "" {
+		var err error
+		if entries, err = sweepSuite(sz, *sweep); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: -workers-sweep: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	for _, entry := range entries {
 		if filter != nil && !filter.MatchString(entry.name) {
 			continue
 		}
@@ -296,7 +306,9 @@ func suite(sz sizes) []benchEntry {
 	}
 
 	return []benchEntry{
-		{name: "codec_encode_signed", run: func() result {
+		// Gated since the pooled-writer encoder landed: one exact-size
+		// allocation per message (down from 11 growth appends).
+		{name: "codec_encode_signed", allocGated: true, run: func() result {
 			sc, err := glimmer.DecodeSignedContribution(makeRaws(1, sz.dim, 1, serviceName, key)[0])
 			if err != nil {
 				fatal(err)
@@ -306,6 +318,41 @@ func suite(sz sizes) []benchEntry {
 				for i := 0; i < b.N; i++ {
 					if len(glimmer.EncodeSignedContribution(sc)) == 0 {
 						fatal(fmt.Errorf("empty encoding"))
+					}
+				}
+			}))
+		}},
+
+		{name: "mac_verify", allocGated: true, run: func() result {
+			// The amortized fast path's per-contribution authenticity check
+			// in isolation: one HMAC-SHA256 over a ticketed preimage of the
+			// suite's dimensionality, on warm pooled state. This is what
+			// replaces the ~100 µs ECDSA verify; it is pinned at 0 allocs/op.
+			var key xcrypto.SessionKey
+			key[0] = 1
+			tc := glimmer.TicketedContribution{
+				ServiceName: serviceName,
+				Round:       1,
+				TicketID:    7,
+				Blinded:     make(fixed.Vector, sz.dim),
+				Confidence:  1,
+			}
+			raw := glimmer.SealTicketedContribution(tc, &key)
+			var s glimmer.TicketScratch
+			preimage, err := s.Decode(raw)
+			if err != nil {
+				fatal(err)
+			}
+			mac := s.TC.MAC
+			var m xcrypto.MACState
+			if !m.Verify(&key, preimage, mac) {
+				fatal(fmt.Errorf("seeded MAC does not verify"))
+			}
+			return fromBench(testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if !m.Verify(&key, preimage, mac) {
+						fatal(fmt.Errorf("MAC verify failed"))
 					}
 				}
 			}))
@@ -487,6 +534,24 @@ func suite(sz sizes) []benchEntry {
 			return fromBench(benchIngest(sz, serviceName, key, runtime.GOMAXPROCS(0), 0))
 		}},
 
+		// Gated: the serial fast path's per-cohort allocation count is a
+		// machine-independent constant (pipeline construction aside, the
+		// per-contribution path is zero-alloc), so a regression here means
+		// the MAC path started allocating.
+		{name: "ingest_ticketed_serial", allocGated: true, run: func() result {
+			// The same cohort-through-a-fresh-pipeline shape as
+			// ingest_serial, with every contribution MAC'd under a session
+			// ticket instead of ECDSA-signed: the tentpole's ≥20× target is
+			// this entry's contrib_per_sec over ingest_serial's.
+			return fromBench(benchTicketedIngest(sz, serviceName, 1, 1))
+		}},
+
+		// Not gated, like ingest_parallel: the worker pool's allocation
+		// count scales with the runner's core count.
+		{name: "ingest_ticketed_parallel", run: func() result {
+			return fromBench(benchTicketedIngest(sz, serviceName, runtime.GOMAXPROCS(0), 0))
+		}},
+
 		{name: "submit_batch_inproc", run: func() result {
 			batches := batchesByRound(sz, serviceName, key)
 			newMgr := func() *service.RoundManager {
@@ -556,6 +621,101 @@ func suite(sz sizes) []benchEntry {
 			}
 		}},
 	}
+}
+
+// makeTicketedRaws fabricates n MAC'd contributions for round, sealed
+// under a ticket installed into tbl — the steady-state traffic of a
+// session that already ran its grant exchange.
+func makeTicketedRaws(n, dim int, round uint64, serviceName string, tbl *service.TicketTable) [][]byte {
+	var skey xcrypto.SessionKey
+	skey[0] = 0xA7
+	const ticketID = 7
+	tbl.Install(ticketID, skey, 1, 1<<32, 1<<62)
+	raws := make([][]byte, n)
+	for i := range raws {
+		tc := glimmer.TicketedContribution{
+			ServiceName: serviceName,
+			Round:       round,
+			TicketID:    ticketID,
+			Blinded:     make(fixed.Vector, dim),
+			Confidence:  1,
+		}
+		for j := range tc.Blinded {
+			tc.Blinded[j] = fixed.Ring(uint64(i)*1000003 + round*31 + uint64(j))
+		}
+		raws[i] = glimmer.SealTicketedContribution(tc, &skey)
+	}
+	return raws
+}
+
+// benchTicketedIngest is benchIngest's fast-path twin: one op is one full
+// MAC'd cohort through a fresh pipeline sharing the tenant's ticket table,
+// so its contrib_per_sec divides directly against the ECDSA-bound
+// ingest_serial/parallel figures.
+func benchTicketedIngest(sz sizes, serviceName string, workers, shards int) testing.BenchmarkResult {
+	tbl := service.NewTicketTable(service.TicketConfig{})
+	raws := makeTicketedRaws(sz.cohort, sz.dim, 7, serviceName, tbl)
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := service.NewPipeline(service.PipelineConfig{
+				ServiceName:    serviceName,
+				Dim:            sz.dim,
+				Round:          7,
+				Tickets:        tbl,
+				Workers:        workers,
+				Shards:         shards,
+				ExpectedCohort: sz.cohort,
+			})
+			for _, err := range p.AddBatch(raws) {
+				if err != nil {
+					fatal(err)
+				}
+			}
+			if err := p.Seal(); err != nil {
+				fatal(err)
+			}
+			if p.Count() != sz.cohort {
+				fatal(fmt.Errorf("count = %d, want %d", p.Count(), sz.cohort))
+			}
+			p.Close()
+		}
+		b.ReportMetric(float64(sz.cohort*b.N)/b.Elapsed().Seconds(), "contrib_per_sec")
+	})
+}
+
+// sweepSuite builds the worker-scaling sweep (-workers-sweep "1,2,4"): the
+// ECDSA-bound and ticketed ingest paths at each worker count, with
+// GOMAXPROCS raised to match, for the multi-core trajectory artifact. On a
+// 1-core runner the curve is flat by construction — the artifact records
+// the machine (num_cpu) so readers can tell a flat curve from a scaling
+// one.
+func sweepSuite(sz sizes, spec string) ([]benchEntry, error) {
+	const serviceName = "bench.example"
+	key, err := xcrypto.NewSigningKey()
+	if err != nil {
+		return nil, err
+	}
+	var entries []benchEntry
+	for _, field := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("worker count %q", field)
+		}
+		entries = append(entries,
+			benchEntry{name: fmt.Sprintf("ingest_parallel_w%d", n), run: func() result {
+				prev := runtime.GOMAXPROCS(max(n, runtime.NumCPU()))
+				defer runtime.GOMAXPROCS(prev)
+				return fromBench(benchIngest(sz, serviceName, key, n, 0))
+			}},
+			benchEntry{name: fmt.Sprintf("ingest_ticketed_parallel_w%d", n), run: func() result {
+				prev := runtime.GOMAXPROCS(max(n, runtime.NumCPU()))
+				defer runtime.GOMAXPROCS(prev)
+				return fromBench(benchTicketedIngest(sz, serviceName, n, 0))
+			}},
+		)
+	}
+	return entries, nil
 }
 
 // benchIngest mirrors BenchmarkAggregatorIngest: one op is one full cohort

@@ -80,7 +80,7 @@ func parseTenants(s string) ([]tenantSpec, error) {
 
 // addTenant assembles one tenant: its cloud service, predicate, hosting
 // enclave config, and registry entry.
-func addTenant(registry *service.Registry, as *tee.AttestationService, spec tenantSpec, workers, shards int) (*service.Tenant, error) {
+func addTenant(registry *service.Registry, as *tee.AttestationService, spec tenantSpec, workers, shards int, ticketTTL int64) (*service.Tenant, error) {
 	svc, err := service.New(spec.name, as.Root())
 	if err != nil {
 		return nil, err
@@ -97,12 +97,19 @@ func addTenant(registry *service.Registry, as *tee.AttestationService, spec tena
 		return nil, err
 	}
 	svc.Vet(glimmer.BuildBinary(cfg).Measurement())
+	// Session tickets (the amortized fast path): one ECDSA-verified grant
+	// per client session, constant-time MACs per contribution thereafter.
+	var ticketPolicy *service.TicketConfig
+	if ticketTTL > 0 {
+		ticketPolicy = &service.TicketConfig{TTL: ticketTTL}
+	}
 	tenant, err := registry.AddTenant(service.TenantConfig{
-		Name:    spec.name,
-		Verify:  svc.ContributionVerifyKey(),
-		Dim:     spec.dim,
-		Workers: workers,
-		Shards:  shards,
+		Name:         spec.name,
+		Verify:       svc.ContributionVerifyKey(),
+		Dim:          spec.dim,
+		TicketPolicy: ticketPolicy,
+		Workers:      workers,
+		Shards:       shards,
 		// Unattended daemon: rounds march forward forever, so evict the
 		// least-filled round at the quota instead of wedging ingest, and
 		// refuse rounds far from the ones in flight (the round number is
@@ -134,6 +141,8 @@ func main() {
 	tenants := flag.String("tenants", "", "extra tenants: name:dim or name:bot, comma-separated")
 	maxRounds := flag.Int("max-total-rounds", service.DefaultMaxTotalRounds,
 		"shared budget: live rounds across all tenants")
+	ticketTTL := flag.Int64("ticket-ttl", service.DefaultTicketTTL,
+		"session-ticket lifetime in seconds (0 disables the MAC fast path)")
 	flag.Parse()
 
 	switch {
@@ -147,6 +156,8 @@ func main() {
 		log.Fatalf("glimmerd: -max-total-rounds must be positive, got %d", *maxRounds)
 	case *serviceName == "":
 		log.Fatal("glimmerd: -service must not be empty")
+	case *ticketTTL < 0:
+		log.Fatalf("glimmerd: -ticket-ttl must be non-negative, got %d", *ticketTTL)
 	}
 	specs := []tenantSpec{{name: *serviceName, dim: *dim}}
 	extra, err := parseTenants(*tenants)
@@ -165,7 +176,7 @@ func main() {
 	}
 	registry := service.NewRegistry(*maxRounds)
 	for _, spec := range specs {
-		if _, err := addTenant(registry, as, spec, *workers, *shards); err != nil {
+		if _, err := addTenant(registry, as, spec, *workers, *shards, *ticketTTL); err != nil {
 			log.Fatalf("tenant %q: %v", spec.name, err)
 		}
 	}

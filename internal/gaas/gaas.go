@@ -36,6 +36,7 @@ const (
 	cmdUserComplete   = "user-complete"
 	cmdUserContribute = "user-contribute"
 	cmdSubmitBatch    = "submit-batch"
+	cmdTicketGrant    = "ticket-grant"
 )
 
 // Frame I/O: u32 big-endian length prefix, then a wire message of
@@ -151,6 +152,18 @@ func readFrame(r io.Reader) (string, []byte, error) {
 // qualifies).
 type Ingestor interface {
 	IngestBatch(raws [][]byte) (accepted int, errs []error)
+}
+
+// TicketGranter runs the service side of the attested-session-ticket
+// exchange: one signed request in, one grant out (see
+// service.RoundManager.GrantTicket). service.Registry satisfies it with
+// per-tenant routing. A server whose Ingestor also implements TicketGranter
+// serves the ticket-grant command; ticket renewal is simply another grant
+// (clients re-run the exchange when ingest starts refusing with the
+// ticket-expired error), and an expired or unknown ticket never grants
+// anything implicitly — the refusal travels back as a normal error frame.
+type TicketGranter interface {
+	GrantTicket(request []byte) (grant []byte, err error)
 }
 
 // HostResolver maps the service name a client's hello carries to the
@@ -354,6 +367,8 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 		case cmdSubmitBatch:
 			out, batchScratch, err = s.handleSubmitBatch(body, batchScratch)
+		case cmdTicketGrant:
+			out, err = s.handleTicketGrant(body)
 		default:
 			err = fmt.Errorf("unknown command %q", cmd)
 		}
@@ -428,6 +443,21 @@ func (s *Server) handleSubmitBatch(body []byte, scratch [][]byte) ([]byte, [][]b
 	// would otherwise keep the (possibly replaced) frame buffer alive.
 	clear(items)
 	return reply, items[:0], nil
+}
+
+// handleTicketGrant forwards a signed ticket request to the ingest side's
+// granter. The request and grant are both public by construction (the
+// session key is derived, never carried), so they travel outside any
+// attested session — exactly like the signed contributions they amortize.
+func (s *Server) handleTicketGrant(body []byte) ([]byte, error) {
+	granter, ok := s.ingest.(TicketGranter)
+	if !ok {
+		return nil, errors.New("server does not grant session tickets")
+	}
+	// The body is a view into the connection's frame buffer; the granter
+	// decodes (copying) before the next frame can be read, satisfying the
+	// same must-not-retain contract as IngestBatch.
+	return granter.GrantTicket(body)
 }
 
 // Client is an IoT device using a remote Glimmer. It has no TEE of its
@@ -542,6 +572,17 @@ func (c *Client) Contribute(round uint64, contribution fixed.Vector, private []i
 		return glimmer.DecodeSignedContribution(reply[len("accepted:"):])
 	}
 	return glimmer.SignedContribution{}, fmt.Errorf("%w: malformed reply", ErrRemote)
+}
+
+// RequestTicket forwards an enclave's signed ticket request
+// (glimmer.Device.TicketRequest) to the host's service side and returns
+// the grant to install (glimmer.Device.InstallTicket) — one round trip,
+// one ECDSA verification server-side, and every contribution after it
+// rides the MAC fast path. Renewal is the same call again: when SubmitBatch
+// tallies start rejecting a session whose ticket has expired, re-run the
+// exchange and re-seal.
+func (c *Client) RequestTicket(request []byte) ([]byte, error) {
+	return c.roundTrip(cmdTicketGrant, request)
 }
 
 // ErrBatchTooLarge is returned by SubmitBatch when the encoded batch

@@ -185,6 +185,9 @@ func BuildBinary(cfg Config) *tee.Binary {
 	b.Define("dealer-hello", ecallDealerHello)
 	b.Define("dealer-complete", ecallDealerComplete)
 	b.Define("install-mask", ecallInstallMask)
+	b.Define("ticket-request", ecallTicketRequest)
+	b.Define("ticket-install", ecallTicketInstall)
+	b.Define("contribute-ticketed", ecallContributeTicketed)
 	return b
 }
 
@@ -471,26 +474,18 @@ func installBlinding(env *tee.Env, cfg Config, payload ProvisionPayload) error {
 	return fmt.Errorf("%w: unknown mode %d", ErrState, cfg.Mode)
 }
 
-// ecallContribute is the paper's Figure 3 pipeline: validate, blind, sign.
-func ecallContribute(env *tee.Env, input []byte) ([]byte, error) {
-	cfg, err := configOf(env)
-	if err != nil {
-		return nil, err
-	}
-	req, err := DecodeContribution(input)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
-	}
+// validateAndBlind runs the validation and blinding stages shared by the
+// signed and ticketed contribution paths: predicate over (contribution,
+// private), refusal below the measured threshold, then the configured
+// blinding. The caller supplies the provisioned predicate state (fetched
+// once per ECALL alongside whatever else the path needs). Runtime faults
+// (index range, budget) are refusals, not infrastructure errors: a
+// malformed contribution is an invalid one.
+func validateAndBlind(env *tee.Env, cfg Config, req ContributionRequest,
+	prog *predicate.Program, analysis *predicate.Analysis) (fixed.Vector, int64, error) {
 	if len(req.Contribution) != cfg.Dim {
-		return nil, fmt.Errorf("%w: contribution dim %d != %d", ErrBadRequest, len(req.Contribution), cfg.Dim)
+		return nil, 0, fmt.Errorf("%w: contribution dim %d != %d", ErrBadRequest, len(req.Contribution), cfg.Dim)
 	}
-	prog, analysis, signKey, err := provisionedState(env)
-	if err != nil {
-		return nil, err
-	}
-
-	// Validation. Runtime faults (index range, budget) are refusals, not
-	// infrastructure errors: a malformed contribution is an invalid one.
 	contribution := make([]int64, len(req.Contribution))
 	for i, u := range req.Contribution {
 		contribution[i] = int64(u)
@@ -502,15 +497,34 @@ func ecallContribute(env *tee.Env, input []byte) ([]byte, error) {
 	res, err := predicate.Run(prog, contribution, private, &predicate.Options{MaxSteps: analysis.CostBound})
 	if err != nil || res.Verdict < cfg.minVerdict() {
 		env.CounterIncrement("rejected")
-		return nil, ErrRejected
+		return nil, 0, ErrRejected
 	}
-
-	// Blinding.
 	vec := make(fixed.Vector, len(req.Contribution))
 	for i, u := range req.Contribution {
 		vec[i] = fixed.Ring(u)
 	}
 	blinded, err := applyBlinding(env, cfg, vec, req.Round)
+	if err != nil {
+		return nil, 0, err
+	}
+	return blinded, res.Verdict, nil
+}
+
+// ecallContribute is the paper's Figure 3 pipeline: validate, blind, sign.
+func ecallContribute(env *tee.Env, input []byte) ([]byte, error) {
+	cfg, err := configOf(env)
+	if err != nil {
+		return nil, err
+	}
+	req, err := DecodeContribution(input)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	prog, analysis, signKey, err := provisionedState(env)
+	if err != nil {
+		return nil, err
+	}
+	blinded, confidence, err := validateAndBlind(env, cfg, req, prog, analysis)
 	if err != nil {
 		return nil, err
 	}
@@ -523,7 +537,7 @@ func ecallContribute(env *tee.Env, input []byte) ([]byte, error) {
 		Round:       req.Round,
 		Measurement: env.Measurement(),
 		Blinded:     blinded,
-		Confidence:  res.Verdict,
+		Confidence:  confidence,
 	}
 	sig, err := signKey.Sign(sc.SignedBytes())
 	if err != nil {

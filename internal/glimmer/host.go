@@ -69,6 +69,36 @@ func (d *Device) Contribute(round uint64, contribution fixed.Vector, private []i
 	return DecodeSignedContribution(out)
 }
 
+// TicketRequest builds the session's signed ticket request for the given
+// round window — the one asymmetric operation of the ticketed fast path.
+// The returned bytes go to the service (directly, or through a gaas host's
+// ticket-grant command).
+func (d *Device) TicketRequest(roundFirst, roundLast uint64) ([]byte, error) {
+	return d.enclave.Call("ticket-request", EncodeTicketWindow(roundFirst, roundLast))
+}
+
+// InstallTicket completes the ticket exchange with the service's grant;
+// subsequent ContributeTicketed calls MAC under the derived session key.
+func (d *Device) InstallTicket(grant []byte) error {
+	_, err := d.enclave.Call("ticket-install", grant)
+	return err
+}
+
+// ContributeTicketed runs the validate→blind pipeline and seals the result
+// with the session MAC instead of an ECDSA signature.
+func (d *Device) ContributeTicketed(round uint64, contribution fixed.Vector, private []int64) (TicketedContribution, error) {
+	req := ContributionRequest{
+		Round:        round,
+		Contribution: VectorToBits(contribution),
+		Private:      Int64sToBits(private),
+	}
+	out, err := d.enclave.Call("contribute-ticketed", EncodeContribution(req))
+	if err != nil {
+		return TicketedContribution{}, err
+	}
+	return DecodeTicketedContribution(out)
+}
+
 // Detect runs the §4.1 bot-detection flow over private signals.
 func (d *Device) Detect(challenge []byte, signals []int64) (Verdict, error) {
 	req := DetectRequest{Challenge: challenge, Signals: Int64sToBits(signals)}

@@ -2,11 +2,49 @@ package glimmer
 
 import (
 	"fmt"
+	"sync"
 
 	"glimmers/internal/fixed"
 	"glimmers/internal/tee"
 	"glimmers/internal/wire"
 )
+
+// writerPool recycles encode buffers across the contribution encoders:
+// every enclave seal, simulator device, and bench iteration encodes into a
+// warm buffer and copies out an exact-size result, instead of growing a
+// fresh writer through ~a dozen appends per message.
+var writerPool = sync.Pool{New: func() any { return wire.NewWriter() }}
+
+// maxPooledEncode caps what goes back into writerPool, so one giant
+// message cannot pin its buffer for the life of the process.
+const maxPooledEncode = 1 << 20
+
+func getWriter() *wire.Writer {
+	return writerPool.Get().(*wire.Writer)
+}
+
+// finishPooled copies the writer's encoding into an exact-size result and
+// recycles the writer. The copy is what lets the pool exist: Finish aliases
+// the pooled buffer, and callers own what these encoders return.
+func finishPooled(w *wire.Writer) []byte {
+	buf := w.Finish()
+	out := make([]byte, len(buf))
+	copy(out, buf)
+	w.Reset()
+	if len(buf) <= maxPooledEncode {
+		writerPool.Put(w)
+	}
+	return out
+}
+
+// appendVector writes a vector as a counted uint64 sequence without the
+// intermediate []uint64 copy VectorToBits would allocate.
+func appendVector(w *wire.Writer, v fixed.Vector) {
+	w.Uint32(uint32(len(v)))
+	for _, r := range v {
+		w.Uint64(uint64(r))
+	}
+}
 
 // ProvisionPayload is what a service installs into a Glimmer over the
 // attested session: signing key, predicate, and blinding material.
@@ -166,28 +204,33 @@ type SignedContribution struct {
 	Signature  []byte
 }
 
-// SignedBytes returns the byte string the signature covers.
-func (sc SignedContribution) SignedBytes() []byte {
-	w := wire.NewWriter()
-	w.String("glimmers/contribution/v1")
+// appendSignedFields writes everything the signature covers (after the
+// domain header) — which is also everything the transport encoding carries
+// before the signature field.
+func appendSignedFields(w *wire.Writer, sc *SignedContribution) {
 	w.String(sc.ServiceName)
 	w.Uint64(sc.Round)
 	w.Bytes(sc.Measurement[:])
-	w.Uint64s(VectorToBits(sc.Blinded))
+	appendVector(w, sc.Blinded)
 	w.Uint64(uint64(sc.Confidence))
-	return w.Finish()
 }
 
-// EncodeSignedContribution serializes the full message.
+// SignedBytes returns the byte string the signature covers.
+func (sc SignedContribution) SignedBytes() []byte {
+	w := getWriter()
+	w.String(signedContributionDomain)
+	appendSignedFields(w, &sc)
+	return finishPooled(w)
+}
+
+// EncodeSignedContribution serializes the full message, through a pooled
+// writer: one exact-size allocation per message instead of the ~11 growth
+// appends the bulk encoders used to pay.
 func EncodeSignedContribution(sc SignedContribution) []byte {
-	w := wire.NewWriter()
-	w.String(sc.ServiceName)
-	w.Uint64(sc.Round)
-	w.Bytes(sc.Measurement[:])
-	w.Uint64s(VectorToBits(sc.Blinded))
-	w.Uint64(uint64(sc.Confidence))
+	w := getWriter()
+	appendSignedFields(w, &sc)
 	w.Bytes(sc.Signature)
-	return w.Finish()
+	return finishPooled(w)
 }
 
 // DecodeSignedContribution reverses EncodeSignedContribution.
@@ -196,9 +239,13 @@ func DecodeSignedContribution(data []byte) (SignedContribution, error) {
 	return sc, err
 }
 
-// signedContributionHeader is the domain-separation prefix SignedBytes
-// writes before the encoded fields.
-var signedContributionHeader = wire.NewWriter().String("glimmers/contribution/v1").Finish()
+// signedContributionDomain separates the contribution signature preimage
+// from every other signed byte string; signedContributionHeader is its
+// encoded form, which ContributionScratch.Decode prepends when recovering
+// the preimage.
+const signedContributionDomain = "glimmers/contribution/v1"
+
+var signedContributionHeader = wire.NewWriter().String(signedContributionDomain).Finish()
 
 // ContributionScratch is the reusable decode state for the per-contribution
 // ingest hot path. One scratch decodes a stream of contributions without

@@ -1,0 +1,329 @@
+package glimmer
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"glimmers/internal/fixed"
+	"glimmers/internal/tee"
+	"glimmers/internal/wire"
+	"glimmers/internal/xcrypto"
+)
+
+// Attested session tickets: the amortized-authentication fast path. The
+// enclave signs one ticket request (a single ECDSA operation, rooted in the
+// same provisioned key that signs contributions), the service answers with
+// a grant completing an X25519 exchange, and both sides derive a short-lived
+// HMAC session key bound to (service, ticket, round window, expiry). Every
+// contribution that follows carries a constant-time MAC instead of an
+// ASN.1 ECDSA signature — the ~100× cheaper check the ingest hot path
+// verifies on pooled scratches. The trust story is unchanged: the session
+// key lives only inside the enclave (and the service's ticket table), so a
+// MAC still proves the contribution passed validate→blind inside a vetted
+// Glimmer; what moved is *when* the asymmetric work happens — once per
+// session, as the paper's "attest once, endorse what follows" model
+// licenses.
+
+// ErrNoTicket is returned by the ticketed-contribution ECALL before a
+// grant has been installed.
+var ErrNoTicket = errors.New("glimmer: no session ticket installed")
+
+// Enclave object-store keys for the ticket state.
+const (
+	objTicketDH = "ticket-dh"
+	objTicket   = "ticket"
+)
+
+// ticketedMagic marks the third field of the ticketed wire variant; its
+// length differs from a measurement's, so the two contribution encodings
+// can never be confused for one another.
+const ticketedMagic = "GTK1"
+
+// ticketHeaderLen is the ticketed variant's third field: magic plus the
+// 8-byte ticket ID.
+const ticketHeaderLen = len(ticketedMagic) + 8
+
+// TicketedContribution is the MAC'd sibling of SignedContribution: the same
+// leading fields (service name, round — so PeekContributionService and
+// PeekContributionRound route both variants identically), a ticket header
+// in place of the measurement (provenance was checked once, at grant time),
+// and an HMAC-SHA256 tag in place of the ECDSA signature.
+type TicketedContribution struct {
+	ServiceName string
+	Round       uint64
+	TicketID    uint64
+	Blinded     fixed.Vector
+	Confidence  int64
+	MAC         []byte
+}
+
+// appendTicketedFields writes everything the MAC covers (after the domain
+// header), which is also everything the transport encoding carries before
+// the MAC field — the same preimage-recovery trick the signed variant uses.
+func appendTicketedFields(w *wire.Writer, tc *TicketedContribution) {
+	w.String(tc.ServiceName)
+	w.Uint64(tc.Round)
+	var hdr [ticketHeaderLen]byte
+	copy(hdr[:], ticketedMagic)
+	binary.BigEndian.PutUint64(hdr[len(ticketedMagic):], tc.TicketID)
+	w.Bytes(hdr[:])
+	appendVector(w, tc.Blinded)
+	w.Uint64(uint64(tc.Confidence))
+}
+
+// ticketedDomain separates the ticketed MAC preimage from every other
+// signed/MAC'd byte string in the system; ticketedHeader is its encoded
+// form, which TicketScratch.Decode prepends when recovering the preimage.
+const ticketedDomain = "glimmers/ticketed/v1"
+
+var ticketedHeader = wire.NewWriter().String(ticketedDomain).Finish()
+
+// MACBytes returns the byte string the MAC covers.
+func (tc TicketedContribution) MACBytes() []byte {
+	w := getWriter()
+	w.String(ticketedDomain)
+	appendTicketedFields(w, &tc)
+	return finishPooled(w)
+}
+
+// EncodeTicketedContribution serializes the full message.
+func EncodeTicketedContribution(tc TicketedContribution) []byte {
+	w := getWriter()
+	appendTicketedFields(w, &tc)
+	w.Bytes(tc.MAC)
+	return finishPooled(w)
+}
+
+// SealTicketedContribution MACs the contribution under the session key and
+// returns the encoded message — the enclave's (and tests') one-stop seal.
+func SealTicketedContribution(tc TicketedContribution, key *xcrypto.SessionKey) []byte {
+	mac := xcrypto.SessionMAC(key, tc.MACBytes())
+	tc.MAC = mac[:]
+	return EncodeTicketedContribution(tc)
+}
+
+// DecodeTicketedContribution reverses EncodeTicketedContribution into an
+// independent copy. Hot paths use TicketScratch instead.
+func DecodeTicketedContribution(data []byte) (TicketedContribution, error) {
+	var s TicketScratch
+	if _, err := s.Decode(data); err != nil {
+		return TicketedContribution{}, err
+	}
+	tc := s.TC
+	tc.Blinded = append(fixed.Vector(nil), tc.Blinded...)
+	tc.MAC = append([]byte(nil), tc.MAC...)
+	return tc, nil
+}
+
+// TicketScratch is the reusable decode state for the ticketed ingest hot
+// path — the MAC-variant sibling of ContributionScratch, with the same
+// aliasing rules: after a successful Decode, TC.MAC aliases the input and
+// TC.Blinded aliases the scratch, both valid only until the next Decode.
+type TicketScratch struct {
+	// TC is the most recently decoded contribution. After a failed Decode
+	// its contents are unspecified.
+	TC TicketedContribution
+
+	bits []uint64
+	macd []byte
+}
+
+// Decode decodes data into s.TC and returns the exact byte string the MAC
+// covers (header || fields), which aliases the scratch. Steady state it
+// performs zero heap allocations: the preimage is recovered by copying the
+// input prefix into a reused buffer instead of re-encoding the struct.
+func (s *TicketScratch) Decode(data []byte) ([]byte, error) {
+	var r wire.Reader
+	r.Reset(data)
+	tc := &s.TC
+	if name := r.BytesView(); string(name) != tc.ServiceName {
+		tc.ServiceName = string(name)
+	}
+	tc.Round = r.Uint64()
+	hdr := r.BytesView()
+	if len(hdr) != ticketHeaderLen || string(hdr[:len(ticketedMagic)]) != ticketedMagic {
+		if r.Err() == nil {
+			return nil, fmt.Errorf("glimmer: ticketed contribution: bad ticket header (%d bytes)", len(hdr))
+		}
+	} else {
+		tc.TicketID = binary.BigEndian.Uint64(hdr[len(ticketedMagic):])
+	}
+	s.bits = r.Uint64sInto(s.bits)
+	if cap(tc.Blinded) < len(s.bits) {
+		tc.Blinded = make(fixed.Vector, len(s.bits))
+	} else {
+		tc.Blinded = tc.Blinded[:len(s.bits)]
+	}
+	for i, b := range s.bits {
+		tc.Blinded[i] = fixed.Ring(b)
+	}
+	tc.Confidence = int64(r.Uint64())
+	fieldsEnd := len(data) - r.Remaining()
+	tc.MAC = r.BytesView()
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("glimmer: ticketed contribution: %w", err)
+	}
+	if len(tc.MAC) != xcrypto.MACSize {
+		return nil, fmt.Errorf("glimmer: ticketed contribution: MAC is %d bytes", len(tc.MAC))
+	}
+	s.macd = append(s.macd[:0], ticketedHeader...)
+	s.macd = append(s.macd, data[:fieldsEnd]...)
+	return s.macd, nil
+}
+
+// PeekContributionTicketed reports whether raw encodes the ticketed
+// (MAC'd) contribution variant rather than the ECDSA-signed one, without
+// allocating. Routers and pipelines dispatch on it; any malformation is
+// left for the full decode of whichever path is chosen.
+func PeekContributionTicketed(data []byte) bool {
+	var r wire.Reader
+	r.Reset(data)
+	r.SkipBytes() // service name
+	r.Uint64()    // round
+	hdr := r.BytesView()
+	return r.Err() == nil && len(hdr) == ticketHeaderLen &&
+		string(hdr[:len(ticketedMagic)]) == ticketedMagic
+}
+
+// sessionTicket is the enclave-held half of a granted ticket.
+type sessionTicket struct {
+	id                    uint64
+	key                   xcrypto.SessionKey
+	roundFirst, roundLast uint64
+	expiresUnix           uint64
+}
+
+// EncodeTicketWindow encodes the host's input to the "ticket-request"
+// ECALL: the round window the session wants.
+func EncodeTicketWindow(first, last uint64) []byte {
+	return wire.NewWriter().Uint64(first).Uint64(last).Finish()
+}
+
+func decodeTicketWindow(data []byte) (first, last uint64, err error) {
+	r := wire.NewReader(data)
+	first, last = r.Uint64(), r.Uint64()
+	if err := r.Done(); err != nil {
+		return 0, 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return first, last, nil
+}
+
+// ecallTicketRequest builds the session's signed ticket request: a fresh
+// X25519 value, the enclave's own measurement, and the requested round
+// window, signed with the provisioned contribution key — the one asymmetric
+// operation the whole session pays.
+func ecallTicketRequest(env *tee.Env, input []byte) ([]byte, error) {
+	cfg, err := configOf(env)
+	if err != nil {
+		return nil, err
+	}
+	first, last, err := decodeTicketWindow(input)
+	if err != nil {
+		return nil, err
+	}
+	if last < first {
+		return nil, fmt.Errorf("%w: round window [%d, %d]", ErrBadRequest, first, last)
+	}
+	_, _, signKey, err := provisionedState(env)
+	if err != nil {
+		return nil, err
+	}
+	dh, err := xcrypto.NewDHKey()
+	if err != nil {
+		return nil, fmt.Errorf("glimmer: ticket DH key: %w", err)
+	}
+	meas := env.Measurement()
+	req := wire.TicketRequest{
+		Service:     cfg.ServiceName,
+		DevicePub:   dh.PublicBytes(),
+		Measurement: meas[:],
+		RoundFirst:  first,
+		RoundLast:   last,
+	}
+	sig, err := signKey.Sign(req.SignedBytes())
+	if err != nil {
+		return nil, fmt.Errorf("glimmer: ticket request signing: %w", err)
+	}
+	req.Signature = sig
+	if err := env.PutObject(objTicketDH, dh); err != nil {
+		return nil, err
+	}
+	return wire.EncodeTicketRequest(req), nil
+}
+
+// ecallTicketInstall completes the exchange: derive the session key from
+// the grant's server value and the pending device key, and make the ticket
+// the session's active one. A tampered grant (wrong ServerPub, respelled
+// identity) merely derives a key whose MACs the service will never accept.
+func ecallTicketInstall(env *tee.Env, input []byte) ([]byte, error) {
+	cfg, err := configOf(env)
+	if err != nil {
+		return nil, err
+	}
+	grant, err := wire.DecodeTicketGrant(input)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if grant.Service != cfg.ServiceName {
+		return nil, fmt.Errorf("%w: grant for service %q", ErrBadRequest, grant.Service)
+	}
+	v, ok := env.GetObject(objTicketDH)
+	if !ok {
+		return nil, fmt.Errorf("%w: no ticket request in flight", ErrState)
+	}
+	dh := v.(*xcrypto.DHKey)
+	shared, err := dh.Shared(grant.ServerPub)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	env.DeleteObject(objTicketDH)
+	t := sessionTicket{
+		id:          grant.ID,
+		key:         xcrypto.DeriveTicketKey(shared, cfg.ServiceName, grant.ID),
+		roundFirst:  grant.RoundFirst,
+		roundLast:   grant.RoundLast,
+		expiresUnix: grant.ExpiresUnix,
+	}
+	return nil, env.PutObject(objTicket, t)
+}
+
+// ecallContributeTicketed is the fast-path sibling of ecallContribute: the
+// same validate→blind pipeline, sealed with the session MAC instead of an
+// ECDSA signature. The enclave MACs whatever round the host names — round
+// acceptance is the service's call (window, expiry, lifecycle), exactly as
+// it is for signed contributions.
+func ecallContributeTicketed(env *tee.Env, input []byte) ([]byte, error) {
+	cfg, err := configOf(env)
+	if err != nil {
+		return nil, err
+	}
+	v, ok := env.GetObject(objTicket)
+	if !ok {
+		return nil, ErrNoTicket
+	}
+	ticket := v.(sessionTicket)
+	req, err := DecodeContribution(input)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	// The signing key goes unused here, but requiring full provisioning
+	// keeps the ticketed path's lifecycle identical to the signed one's.
+	prog, analysis, _, err := provisionedState(env)
+	if err != nil {
+		return nil, err
+	}
+	blinded, confidence, err := validateAndBlind(env, cfg, req, prog, analysis)
+	if err != nil {
+		return nil, err
+	}
+	tc := TicketedContribution{
+		ServiceName: cfg.ServiceName,
+		Round:       req.Round,
+		TicketID:    ticket.id,
+		Blinded:     blinded,
+		Confidence:  confidence,
+	}
+	env.CounterIncrement("accepted")
+	return SealTicketedContribution(tc, &ticket.key), nil
+}

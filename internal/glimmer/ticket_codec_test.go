@@ -1,0 +1,241 @@
+package glimmer
+
+import (
+	"bytes"
+	"testing"
+
+	"glimmers/internal/fixed"
+	"glimmers/internal/race"
+	"glimmers/internal/xcrypto"
+)
+
+// goldenTicketed is the frozen MAC'd-contribution fixture: every field
+// populated with distinctive values, same spirit as goldenContribution.
+func goldenTicketed() TicketedContribution {
+	mac := make([]byte, xcrypto.MACSize)
+	for i := range mac {
+		mac[i] = byte(0xC0 ^ i)
+	}
+	return TicketedContribution{
+		ServiceName: "golden.example",
+		Round:       7,
+		TicketID:    0x1122334455667788,
+		Blinded: fixed.Vector{
+			0,
+			1,
+			fixed.FromFloat(0.5),
+			fixed.Ring(1 << 63),
+			fixed.Ring(0xFFFFFFFFFFFFFFFF),
+		},
+		Confidence: 100,
+		MAC:        mac,
+	}
+}
+
+func TestGoldenTicketedContribution(t *testing.T) {
+	want := readGolden(t, "ticketed_contribution.hex")
+	tc := goldenTicketed()
+	if got := EncodeTicketedContribution(tc); !bytes.Equal(got, want) {
+		t.Fatalf("encoding changed:\n got: %x\nwant: %x", got, want)
+	}
+	dec, err := DecodeTicketedContribution(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.ServiceName != tc.ServiceName || dec.Round != tc.Round ||
+		dec.TicketID != tc.TicketID || dec.Confidence != tc.Confidence {
+		t.Fatalf("decoded fields differ: %+v", dec)
+	}
+	if !bytes.Equal(dec.MAC, tc.MAC) {
+		t.Error("MAC differs")
+	}
+	wantPre := readGolden(t, "ticketed_contribution_preimage.hex")
+	if got := tc.MACBytes(); !bytes.Equal(got, wantPre) {
+		t.Fatalf("MAC preimage changed:\n got: %x\nwant: %x", got, wantPre)
+	}
+}
+
+// TestTicketedPeeksUnchanged pins the routing contract: the ticketed
+// variant leads with the same (service, round) fields, so the existing
+// header peeks route both variants identically, and the variant peek
+// distinguishes them.
+func TestTicketedPeeksUnchanged(t *testing.T) {
+	ticketed := EncodeTicketedContribution(goldenTicketed())
+	signed := readGolden(t, "signed_contribution.hex")
+
+	name, err := PeekContributionService(ticketed)
+	if err != nil || string(name) != "golden.example" {
+		t.Fatalf("service peek on ticketed = (%q, %v)", name, err)
+	}
+	round, err := PeekContributionRound(ticketed)
+	if err != nil || round != 7 {
+		t.Fatalf("round peek on ticketed = (%d, %v)", round, err)
+	}
+	if !PeekContributionTicketed(ticketed) {
+		t.Fatal("variant peek missed a ticketed contribution")
+	}
+	if PeekContributionTicketed(signed) {
+		t.Fatal("variant peek misclassified a signed contribution")
+	}
+	for _, bad := range [][]byte{nil, {0x00}, {0xff, 0xff, 0xff, 0xff}} {
+		if PeekContributionTicketed(bad) {
+			t.Fatalf("variant peek accepted garbage %x", bad)
+		}
+	}
+}
+
+// TestTicketScratchMatchesCopyingDecode locks the scratch decoder to the
+// copying decoder, including the MAC preimage verification consumes.
+func TestTicketScratchMatchesCopyingDecode(t *testing.T) {
+	var s TicketScratch
+	key := xcrypto.SessionKey{1, 2, 3}
+	for i := 0; i < 8; i++ {
+		tc := goldenTicketed()
+		tc.Round = uint64(i)
+		tc.TicketID = uint64(1000 + i)
+		raw := SealTicketedContribution(tc, &key)
+		want, err := DecodeTicketedContribution(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preimage, err := s.Decode(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.TC.ServiceName != want.ServiceName || s.TC.Round != want.Round ||
+			s.TC.TicketID != want.TicketID || s.TC.Confidence != want.Confidence {
+			t.Fatalf("decoded header diverges: %+v vs %+v", s.TC, want)
+		}
+		if len(s.TC.Blinded) != len(want.Blinded) {
+			t.Fatal("vector length diverges")
+		}
+		for j := range want.Blinded {
+			if s.TC.Blinded[j] != want.Blinded[j] {
+				t.Fatalf("vector[%d] diverges", j)
+			}
+		}
+		if !bytes.Equal(s.TC.MAC, want.MAC) {
+			t.Fatal("MAC diverges")
+		}
+		if !bytes.Equal(preimage, want.MACBytes()) {
+			t.Fatal("preimage diverges from MACBytes")
+		}
+		if !xcrypto.VerifySessionMAC(&key, preimage, s.TC.MAC) {
+			t.Fatal("sealed MAC does not verify over the recovered preimage")
+		}
+	}
+}
+
+// TestTicketScratchRejectsMalformed mirrors the signed scratch's refusal
+// surface, plus the variant-confusion cases.
+func TestTicketScratchRejectsMalformed(t *testing.T) {
+	var s TicketScratch
+	good := EncodeTicketedContribution(goldenTicketed())
+	badMagic := append([]byte(nil), good...)
+	// The ticket header's magic starts right after the name field's length
+	// prefix + content and the 8-byte round and the 4-byte header length.
+	hdrOff := 4 + len("golden.example") + 8 + 4
+	copy(badMagic[hdrOff:], "NOPE")
+	shortMAC := goldenTicketed()
+	shortMAC.MAC = shortMAC.MAC[:16]
+	signed := readGolden(t, "signed_contribution.hex")
+	for name, raw := range map[string][]byte{
+		"truncated":      good[:len(good)-3],
+		"trailing":       append(append([]byte(nil), good...), 0x00),
+		"garbage":        {0xff, 0xff, 0xff, 0xff},
+		"bad-magic":      badMagic,
+		"short-mac":      EncodeTicketedContribution(shortMAC),
+		"signed-variant": signed,
+	} {
+		if _, err := s.Decode(raw); err == nil {
+			t.Errorf("%s: ticket scratch accepted malformed input", name)
+		}
+		if _, err := DecodeTicketedContribution(raw); err == nil {
+			t.Errorf("%s: copying decode accepted malformed input", name)
+		}
+	}
+	// A ticketed message fed to the signed decoder must be refused too.
+	var sc ContributionScratch
+	if _, err := sc.Decode(good); err == nil {
+		t.Error("signed scratch accepted a ticketed contribution")
+	}
+	// The scratch recovers after failures.
+	if _, err := s.Decode(good); err != nil {
+		t.Fatalf("scratch did not recover: %v", err)
+	}
+}
+
+// TestTicketScratchDecodeAllocFree pins the fast-path contract: steady-state
+// ticketed decode into a reused scratch performs zero heap allocations.
+func TestTicketScratchDecodeAllocFree(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation accounting differs under the race detector")
+	}
+	raws := make([][]byte, 64)
+	for i := range raws {
+		tc := TicketedContribution{
+			ServiceName: "alloc.example",
+			Round:       42,
+			TicketID:    uint64(i),
+			Blinded:     make(fixed.Vector, 64),
+			Confidence:  1,
+			MAC:         bytes.Repeat([]byte{0x5A}, xcrypto.MACSize),
+		}
+		for j := range tc.Blinded {
+			tc.Blinded[j] = fixed.Ring(uint64(i)*1000003 + uint64(j))
+		}
+		raws[i] = EncodeTicketedContribution(tc)
+	}
+	var s TicketScratch
+	if _, err := s.Decode(raws[0]); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	if got := testing.AllocsPerRun(500, func() {
+		i++
+		preimage, err := s.Decode(raws[i%len(raws)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(preimage) == 0 || s.TC.Round != 42 {
+			t.Fatal("bad decode")
+		}
+	}); got > 0 {
+		t.Errorf("ticket scratch decode: %.1f allocs/op, want 0", got)
+	}
+}
+
+// TestPeekContributionTicketedAllocFree guards the dispatch peek.
+func TestPeekContributionTicketedAllocFree(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation accounting differs under the race detector")
+	}
+	ticketed := EncodeTicketedContribution(goldenTicketed())
+	signed := allocContribution(3)
+	if got := testing.AllocsPerRun(500, func() {
+		if !PeekContributionTicketed(ticketed) || PeekContributionTicketed(signed) {
+			t.Fatal("peek misclassified")
+		}
+	}); got > 0 {
+		t.Errorf("PeekContributionTicketed: %.1f allocs/op, want 0", got)
+	}
+}
+
+// TestEncodeSignedContributionSingleAlloc pins the pooled-writer encoder:
+// one exact-size allocation per message at steady state.
+func TestEncodeSignedContributionSingleAlloc(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation accounting differs under the race detector")
+	}
+	sc, _, err := DecodeSignedContributionBytes(allocContribution(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(500, func() {
+		if len(EncodeSignedContribution(sc)) == 0 {
+			t.Fatal("empty encoding")
+		}
+	}); got > 1 {
+		t.Errorf("EncodeSignedContribution: %.1f allocs/op, want 1", got)
+	}
+}

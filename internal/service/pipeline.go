@@ -58,6 +58,13 @@ type PipelineConfig struct {
 	Verify      *xcrypto.VerifyKey
 	Dim         int
 	Round       uint64
+	// Tickets, when non-nil, enables the amortized fast path: contributions
+	// in the ticketed wire variant are checked with a constant-time session
+	// MAC against this table instead of an ECDSA verify. The table is
+	// shared by every round of a tenant (tickets span rounds); nil refuses
+	// ticketed contributions with ErrUnknownTicket. The ECDSA path stays
+	// available either way — ticketless clients are unaffected.
+	Tickets *TicketTable
 	// Workers is the size of the verifier pool AddBatch fans out to.
 	// Workers == 1 processes batches inline on the calling goroutine (the
 	// serial baseline); <= 0 defaults to GOMAXPROCS.
@@ -166,19 +173,31 @@ func NewPipeline(cfg PipelineConfig) *Pipeline {
 	return p
 }
 
-// scratchPool recycles per-contribution decode scratch across every
-// pipeline in the process: rounds come and go, but the scratch (vector,
-// signed-bytes buffer, interned service name) is workload-shaped and stays
-// warm. A scratch is held by exactly one goroutine between Get and Put, so
-// its aliasing rules (see glimmer.ContributionScratch) are trivially met.
-var scratchPool = sync.Pool{New: func() any { return new(glimmer.ContributionScratch) }}
+// ingestScratch bundles the per-contribution hot-path state for both wire
+// variants: the ECDSA scratch, the ticketed scratch, and the reusable HMAC
+// state the MAC check runs on. One scratch is held by exactly one goroutine
+// between Get and Put, so the aliasing rules of its parts (see
+// glimmer.ContributionScratch / TicketScratch) and the MACState's
+// no-concurrent-use rule are trivially met.
+type ingestScratch struct {
+	sig glimmer.ContributionScratch
+	tkt glimmer.TicketScratch
+	mac xcrypto.MACState
+}
 
-// putScratch drops the scratch's alias into the caller's raw input
-// (SC.Signature is a view) before pooling it: an idle pooled scratch must
-// not keep a transport's frame buffer reachable — the same must-not-retain
-// contract gaas.Ingestor documents for this very path.
-func putScratch(s *glimmer.ContributionScratch) {
-	s.SC.Signature = nil
+// scratchPool recycles per-contribution decode scratch across every
+// pipeline in the process: rounds come and go, but the scratch (vectors,
+// preimage buffers, interned service name, HMAC state) is workload-shaped
+// and stays warm.
+var scratchPool = sync.Pool{New: func() any { return new(ingestScratch) }}
+
+// putScratch drops the scratch's aliases into the caller's raw input
+// (SC.Signature and TC.MAC are views) before pooling it: an idle pooled
+// scratch must not keep a transport's frame buffer reachable — the same
+// must-not-retain contract gaas.Ingestor documents for this very path.
+func putScratch(s *ingestScratch) {
+	s.sig.SC.Signature = nil
+	s.tkt.TC.MAC = nil
 	scratchPool.Put(s)
 }
 
@@ -304,41 +323,95 @@ func (p *Pipeline) worker() {
 }
 
 // checkContribution runs the stateless checks shared by pipeline ingest
-// and round admission (RoundManager.preverify): decode into the caller's
-// scratch, service identity, round (when wantRound is non-nil — the cheap
-// checks come before the expensive signature verify so stale traffic is
-// cheap to reject), dimension, allowlist, signature. Dedup is the caller's
-// business. Keeping this in one place means the two call sites cannot
-// drift apart.
+// and round admission (RoundManager.preverify): dispatch on the wire
+// variant, decode into the caller's scratch, service identity, round (when
+// wantRound is non-nil — the cheap checks come before the expensive
+// authenticity check so stale traffic is cheap to reject), dimension, and
+// then the variant's authenticity rule: measurement allowlist + ECDSA
+// signature for the signed variant, ticket resolution (table, expiry,
+// round window) + session MAC for the ticketed one. Dedup is the caller's
+// business. Keeping this in one place means the call sites cannot drift
+// apart.
 //
-// On success s.SC holds the decoded contribution; its reference fields
-// alias s and raw, so the caller must finish with them before recycling
-// either (see glimmer.ContributionScratch). The whole check performs zero
-// heap allocations at steady state, signature verification's internals
-// aside.
-func checkContribution(serviceName string, verify *xcrypto.VerifyKey, dim int, wantRound *uint64,
-	vetted func(tee.Measurement) bool, raw []byte, s *glimmer.ContributionScratch) error {
-	signed, err := s.Decode(raw)
-	if err != nil {
-		return fmt.Errorf("service: %w", err)
+// On success the returned vector is the decoded blinded contribution; it
+// aliases s (and the variant's tag field aliases raw), so the caller must
+// finish with it before recycling either. The returned digest is the
+// contribution's dedup identity: SHA-256 of the raw bytes on the signed
+// path, and the session MAC itself on the ticketed one — the MAC is
+// already a collision-resistant digest of everything the message carries
+// (only the tag field is outside its preimage, and a message whose tag was
+// altered never verifies), so the fast path skips a second full-message
+// hash. The whole check performs zero heap allocations at steady state —
+// on the ticketed path including the MAC itself, which is the fast path's
+// entire point.
+func checkContribution(serviceName string, verify *xcrypto.VerifyKey, tickets *TicketTable,
+	dim int, wantRound *uint64, vetted func(tee.Measurement) bool,
+	raw []byte, s *ingestScratch) (fixed.Vector, [32]byte, error) {
+	if glimmer.PeekContributionTicketed(raw) {
+		return checkTicketed(serviceName, tickets, dim, wantRound, raw, s)
 	}
-	sc := &s.SC
+	var digest [32]byte
+	signed, err := s.sig.Decode(raw)
+	if err != nil {
+		return nil, digest, fmt.Errorf("service: %w", err)
+	}
+	sc := &s.sig.SC
 	if sc.ServiceName != serviceName {
-		return ErrWrongService
+		return nil, digest, ErrWrongService
 	}
 	if wantRound != nil && sc.Round != *wantRound {
-		return ErrWrongRound
+		return nil, digest, ErrWrongRound
 	}
 	if len(sc.Blinded) != dim {
-		return ErrWrongDim
+		return nil, digest, ErrWrongDim
 	}
 	if !vetted(sc.Measurement) {
-		return ErrUnknownGlimmer
+		return nil, digest, ErrUnknownGlimmer
 	}
 	if verify != nil && !verify.Verify(signed, sc.Signature) {
-		return ErrBadSignature
+		return nil, digest, ErrBadSignature
 	}
-	return nil
+	return sc.Blinded, sha256.Sum256(raw), nil
+}
+
+// checkTicketed is the amortized fast path: the per-contribution cost is a
+// scratch decode, a lock-brief table read, and one constant-time HMAC —
+// the asymmetric verify (and the measurement allowlist) were paid once, at
+// grant time. The MAC covers the service name and round, so a contribution
+// respelled for another tenant or round can never verify; the table's
+// window and expiry bound what a captured ticket can replay.
+func checkTicketed(serviceName string, tickets *TicketTable, dim int, wantRound *uint64,
+	raw []byte, s *ingestScratch) (fixed.Vector, [32]byte, error) {
+	var digest [32]byte
+	preimage, err := s.tkt.Decode(raw)
+	if err != nil {
+		return nil, digest, fmt.Errorf("service: %w", err)
+	}
+	tc := &s.tkt.TC
+	if tc.ServiceName != serviceName {
+		return nil, digest, ErrWrongService
+	}
+	if wantRound != nil && tc.Round != *wantRound {
+		return nil, digest, ErrWrongRound
+	}
+	if len(tc.Blinded) != dim {
+		return nil, digest, ErrWrongDim
+	}
+	if tickets == nil {
+		return nil, digest, ErrUnknownTicket
+	}
+	key, err := tickets.check(tc.TicketID, tc.Round)
+	if err != nil {
+		return nil, digest, err
+	}
+	if !s.mac.Verify(&key, preimage, tc.MAC) {
+		return nil, digest, ErrBadMAC
+	}
+	// The verified MAC doubles as the dedup digest: identical raw bytes
+	// yield the identical MAC, and two messages differing anywhere in
+	// their fields have distinct MACs by collision resistance.
+	copy(digest[:], tc.MAC)
+	return tc.Blinded, digest, nil
 }
 
 // process is the per-contribution hot path: decode into pooled scratch,
@@ -348,13 +421,13 @@ func checkContribution(serviceName string, verify *xcrypto.VerifyKey, dim int, w
 // reuses pooled scratch, the digest lives on the stack, and the dedup
 // insert lands in a pre-sized map (ExpectedCohort).
 func (p *Pipeline) process(raw []byte) error {
-	s := scratchPool.Get().(*glimmer.ContributionScratch)
+	s := scratchPool.Get().(*ingestScratch)
 	defer putScratch(s)
-	err := checkContribution(p.cfg.ServiceName, p.cfg.Verify, p.cfg.Dim, &p.cfg.Round, p.vetted, raw, s)
+	blinded, digest, err := checkContribution(p.cfg.ServiceName, p.cfg.Verify, p.cfg.Tickets,
+		p.cfg.Dim, &p.cfg.Round, p.vetted, raw, s)
 	if err != nil {
 		return p.reject(err)
 	}
-	digest := sha256.Sum256(raw)
 	sh := p.shards[binary.BigEndian.Uint64(digest[:8])&p.shardMask]
 	sh.mu.Lock()
 	if sh.seen[digest] {
@@ -362,7 +435,7 @@ func (p *Pipeline) process(raw []byte) error {
 		return p.reject(ErrDuplicate)
 	}
 	sh.seen[digest] = true
-	sh.sum.AddInPlace(s.SC.Blinded)
+	sh.sum.AddInPlace(blinded)
 	sh.count++
 	sh.mu.Unlock()
 	return nil

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"glimmers/internal/glimmer"
+	"glimmers/internal/wire"
 	"glimmers/internal/xcrypto"
 )
 
@@ -192,6 +193,13 @@ type TenantConfig struct {
 	// without a Glimmer config is ingest-only.
 	Glimmer   glimmer.Config
 	Provision func(*glimmer.Device) error
+
+	// TicketPolicy, when non-nil, enables the amortized fast path for this
+	// tenant: the registry creates a bounded per-tenant TicketTable under
+	// this policy, GrantTicket fills it (one ECDSA verify per session), and
+	// ingest accepts MAC'd contributions against it. Tenants without a
+	// policy refuse ticketed traffic; their ECDSA path is unchanged.
+	TicketPolicy *TicketConfig
 }
 
 // Tenant is one registered service: its configuration and the RoundManager
@@ -255,10 +263,15 @@ func (r *Registry) AddTenant(cfg TenantConfig) (*Tenant, error) {
 	if _, ok := r.tenants[cfg.Name]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrTenantExists, cfg.Name)
 	}
+	var tickets *TicketTable
+	if cfg.TicketPolicy != nil {
+		tickets = NewTicketTable(*cfg.TicketPolicy)
+	}
 	m := NewRoundManager(PipelineConfig{
 		ServiceName:    cfg.Name,
 		Verify:         cfg.Verify,
 		Dim:            cfg.Dim,
+		Tickets:        tickets,
 		Workers:        cfg.Workers,
 		Shards:         cfg.Shards,
 		ExpectedCohort: cfg.ExpectedCohort,
@@ -356,6 +369,22 @@ func (r *Registry) IngestBatch(raws [][]byte) (int, []error) {
 		}
 	}
 	return accepted, errs
+}
+
+// GrantTicket routes a ticket request to the tenant it names and runs that
+// tenant's grant exchange (see RoundManager.GrantTicket). Control-plane
+// refusals — unknown tenant included — return to the caller without
+// touching the rejection counters, which account contributions only.
+func (r *Registry) GrantTicket(raw []byte) ([]byte, error) {
+	req, err := wire.DecodeTicketRequest(raw)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	t, ok := r.Tenant(req.Service)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, req.Service)
+	}
+	return t.manager.grantTicket(req)
 }
 
 // ResolveHost returns the enclave configuration and provisioning hook for

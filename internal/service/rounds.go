@@ -9,6 +9,7 @@ import (
 
 	"glimmers/internal/glimmer"
 	"glimmers/internal/tee"
+	"glimmers/internal/wire"
 )
 
 // DefaultMaxRounds bounds the live pipelines a RoundManager will create
@@ -175,9 +176,35 @@ func (m *RoundManager) Rounds() []uint64 {
 // may bring a new round into existence, so unauthenticated bytes can
 // never allocate rounds.
 func (m *RoundManager) preverify(raw []byte) error {
-	s := scratchPool.Get().(*glimmer.ContributionScratch)
+	s := scratchPool.Get().(*ingestScratch)
 	defer putScratch(s)
-	return checkContribution(m.cfg.ServiceName, m.cfg.Verify, m.cfg.Dim, nil, m.isVetted, raw, s)
+	_, _, err := checkContribution(m.cfg.ServiceName, m.cfg.Verify, m.cfg.Tickets,
+		m.cfg.Dim, nil, m.isVetted, raw, s)
+	return err
+}
+
+// GrantTicket runs the service side of the attested-session-ticket
+// exchange against this manager's identity: the request's one ECDSA
+// signature is checked with the same key that verifies contributions, the
+// requesting enclave's measurement against the same allowlist, and the
+// derived session key lands in the manager's ticket table — after which
+// every contribution of the session pays a constant-time MAC instead.
+// Refusals here are control-plane errors returned to the caller; they are
+// not counted as contribution rejections.
+func (m *RoundManager) GrantTicket(raw []byte) ([]byte, error) {
+	req, err := wire.DecodeTicketRequest(raw)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	return m.grantTicket(req)
+}
+
+// grantTicket is the post-decode grant path shared with Registry routing.
+func (m *RoundManager) grantTicket(req wire.TicketRequest) ([]byte, error) {
+	if m.cfg.Tickets == nil {
+		return nil, ErrTicketsDisabled
+	}
+	return m.cfg.Tickets.Grant(m.cfg.ServiceName, m.cfg.Verify, m.isVetted, req)
 }
 
 // isVetted applies the shared admission rule to the manager's allowlist.

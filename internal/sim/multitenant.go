@@ -291,9 +291,18 @@ func (s MultiScenario) probeIsolation(st *stack, sims []*simulation, violate fun
 }
 
 // renameContribution re-encodes an accepted contribution under a different
-// service name without re-signing — the cross-tenant forgery the signature
-// domain must make useless.
+// service name without re-signing (or re-MACing) — the cross-tenant
+// forgery the authenticator's domain separation must make useless, on
+// either wire variant.
 func renameContribution(raw []byte, name string) ([]byte, error) {
+	if glimmer.PeekContributionTicketed(raw) {
+		tc, err := glimmer.DecodeTicketedContribution(raw)
+		if err != nil {
+			return nil, err
+		}
+		tc.ServiceName = name
+		return glimmer.EncodeTicketedContribution(tc), nil
+	}
 	sc, err := glimmer.DecodeSignedContribution(raw)
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"glimmers/internal/blind"
+	"glimmers/internal/botdetect"
 	"glimmers/internal/fixed"
 	"glimmers/internal/glimmer"
 	"glimmers/internal/service"
@@ -141,10 +142,11 @@ func (s *simulation) recordReject(round uint64, cat string) {
 		s.tallies[round] = t
 	}
 	t.add(cat, 1)
-	// Garbage never names a tenant, so its refusal is booked by the shared
+	// Garbage never names a tenant (and the unknown-tenant probe names one
+	// that does not exist), so those refusals are booked by the shared
 	// registry rather than this tenant's manager; every other category is
 	// routed into the tenant and refused there.
-	if cat == CatRejectedGarbage {
+	if cat == CatRejectedGarbage || cat == CatRejectedUnknownTenant {
 		s.observedRoutingRejects++
 	} else {
 		s.observedRejects++
@@ -189,6 +191,9 @@ func (s *simulation) run() (*Report, error) {
 		}
 	}
 	s.closeRound(uint64(s.cfg.Rounds))
+	if s.cfg.Ticketed {
+		s.ticketProbes()
+	}
 	s.reconcileRejections()
 	elapsed := time.Since(start)
 
@@ -228,18 +233,17 @@ func (s *simulation) generate(rp roundPlan) (wave1, wave2, stragglers []item, er
 			if s.cfg.Workload == WorkloadRange {
 				val = byzantineValue(dp.value)
 			}
-			if _, cerr := dev.Contribute(rp.round, val, priv); !errors.Is(cerr, glimmer.ErrRejected) {
+			if _, cerr := s.contribute(dev, rp.round, val, priv); !errors.Is(cerr, glimmer.ErrRejected) {
 				s.violate("round %d device %d: byzantine contribution not refused client-side (err=%v)", rp.round, d, cerr)
 				continue
 			}
 			s.tally(rp.round, CatClientRejected, 1)
 			continue
 		}
-		sc, cerr := dev.Contribute(rp.round, dp.value, dp.private)
+		raw, cerr := s.contribute(dev, rp.round, dp.value, dp.private)
 		if cerr != nil {
 			return nil, nil, nil, fmt.Errorf("sim: round %d device %d contribute: %w", rp.round, d, cerr)
 		}
-		raw := glimmer.EncodeSignedContribution(sc)
 		switch {
 		case dp.role == roleCorruptSig:
 			raw[len(raw)-1] ^= 0xFF // flip one signature byte in flight
@@ -256,11 +260,11 @@ func (s *simulation) generate(rp roundPlan) (wave1, wave2, stragglers []item, er
 			wave2 = append(wave2, item{raw: dp.garbage, expect: CatRejectedGarbage, device: d})
 		}
 		if dp.outOfWindow {
-			scOOW, oerr := dev.Contribute(rp.bogusRound, dp.value, dp.private)
+			rawOOW, oerr := s.contribute(dev, rp.bogusRound, dp.value, dp.private)
 			if oerr != nil {
 				return nil, nil, nil, fmt.Errorf("sim: round %d device %d out-of-window contribute: %w", rp.round, d, oerr)
 			}
-			wave2 = append(wave2, item{raw: glimmer.EncodeSignedContribution(scOOW), expect: CatRejectedWindow, device: d})
+			wave2 = append(wave2, item{raw: rawOOW, expect: CatRejectedWindow, device: d})
 		}
 		if dp.replay {
 			s.mu.Lock()
@@ -274,6 +278,25 @@ func (s *simulation) generate(rp roundPlan) (wave1, wave2, stragglers []item, er
 		}
 	}
 	return wave1, wave2, stragglers, nil
+}
+
+// contribute runs the device's client-side pipeline in the run's
+// authentication mode: the Glimmer validates and blinds either way, then
+// seals with an ECDSA signature or — on the ticketed fast path — the
+// session MAC.
+func (s *simulation) contribute(dev *glimmer.Device, round uint64, value fixed.Vector, private []int64) ([]byte, error) {
+	if s.cfg.Ticketed {
+		tc, err := dev.ContributeTicketed(round, value, private)
+		if err != nil {
+			return nil, err
+		}
+		return glimmer.EncodeTicketedContribution(tc), nil
+	}
+	sc, err := dev.Contribute(round, value, private)
+	if err != nil {
+		return nil, err
+	}
+	return glimmer.EncodeSignedContribution(sc), nil
 }
 
 // submitWave ships items in batches across the transport pool, then
@@ -342,8 +365,15 @@ func (s *simulation) submitBatch(round uint64, batch []item) error {
 
 // observe books one per-item outcome against its expectation.
 func (s *simulation) observe(round uint64, it item, err error) {
+	// A corrupted submission is a flipped signature byte on the ECDSA path
+	// and a flipped MAC byte on the ticketed one; the service must name the
+	// right refusal either way.
+	corrupt := service.ErrBadSignature
+	if s.cfg.Ticketed {
+		corrupt = service.ErrBadMAC
+	}
 	want := map[string]error{
-		CatRejectedSig:    service.ErrBadSignature,
+		CatRejectedSig:    corrupt,
 		CatRejectedDup:    service.ErrDuplicate,
 		CatRejectedReplay: service.ErrRoundSealed,
 		CatRejectedWindow: service.ErrRoundOutOfWindow,
@@ -375,6 +405,124 @@ func (s *simulation) observe(round uint64, it item, err error) {
 		}
 		s.violate("round %d device %d: unknown expectation %q", round, it.device, it.expect)
 	}
+}
+
+// ticketProbes fires the ticket-specific attacks after the plan has run —
+// each against a fresh probe round, so every refusal happens at round
+// admission and no probe can create state. In order (the expiry probe
+// advances the shared clock, so it must come last):
+//
+//  1. forged MAC: a genuine ticketed contribution with one tag byte
+//     flipped must be refused with ErrBadMAC and must not create its round
+//     (ticket issued in round window, MAC broken in flight);
+//  2. ticket window: a contribution MAC'd under a deliberately tight
+//     ticket ([1,1]) naming a later round must be refused with
+//     ErrTicketWindow — the binding that bounds what a stolen session key
+//     can pre-sign (a ticket issued for round N cannot endorse round N+k);
+//  3. cross-tenant replay: an accepted ticketed contribution respelled for
+//     a tenant that does not exist must bounce at the registry without
+//     touching this tenant;
+//  4. expired ticket: after the clock passes the TTL, the original
+//     (wide-window) ticket's MACs are refused with ErrTicketExpired.
+//
+// Probes submit through the registry directly (like the multi-tenant
+// isolation probes) so the exact refusal error is observable on every
+// transport; each refusal is booked into the same accounting the final
+// reconciliation checks.
+func (s *simulation) ticketProbes() {
+	probeRound := uint64(s.cfg.Rounds + 1)
+	value, private := s.probePayload(probeRound)
+	dev := s.w.devices[0]
+
+	// 1. Forged MAC on a fresh round.
+	raw, err := s.contribute(dev, probeRound, value, private)
+	if err != nil {
+		s.violate("ticket probe: contribute: %v", err)
+		return
+	}
+	forged := append([]byte(nil), raw...)
+	forged[len(forged)-1] ^= 0x01
+	if err := s.w.stack.registry.Ingest(forged); !errors.Is(err, service.ErrBadMAC) {
+		s.violate("ticket probe: forged MAC returned %v, want ErrBadMAC", err)
+	} else {
+		s.recordReject(probeRound, CatRejectedForgedMAC)
+	}
+	if _, ok := s.w.manager.Lookup(probeRound); ok {
+		s.violate("ticket probe: forged MAC created round %d", probeRound)
+	}
+
+	// 2. Round outside a tight ticket's window, from its own device (a
+	// dealer mask is one-time-use per device and round, so each probe
+	// contribution comes from a distinct device). Installing the tight
+	// ticket replaces that device's session.
+	tightDev := s.w.devices[2]
+	req, err := tightDev.TicketRequest(1, 1)
+	if err != nil {
+		s.violate("ticket probe: tight request: %v", err)
+		return
+	}
+	grant, err := s.w.stack.registry.GrantTicket(req)
+	if err != nil {
+		s.violate("ticket probe: tight grant: %v", err)
+		return
+	}
+	if err := tightDev.InstallTicket(grant); err != nil {
+		s.violate("ticket probe: tight install: %v", err)
+		return
+	}
+	tight, err := s.contribute(tightDev, probeRound, value, private)
+	if err != nil {
+		s.violate("ticket probe: tight contribute: %v", err)
+		return
+	}
+	if err := s.w.stack.registry.Ingest(tight); !errors.Is(err, service.ErrTicketWindow) {
+		s.violate("ticket probe: out-of-window ticket returned %v, want ErrTicketWindow", err)
+	} else {
+		s.recordReject(probeRound, CatRejectedTicketWindow)
+	}
+
+	// 3. Cross-tenant replay: the forged round's genuine bytes respelled
+	// for a ghost tenant; the registry must refuse without routing.
+	ghost, err := renameContribution(raw, "ghost.invalid")
+	if err != nil {
+		s.violate("ticket probe: ghost rename: %v", err)
+		return
+	}
+	if err := s.w.stack.registry.Ingest(ghost); !errors.Is(err, service.ErrUnknownTenant) {
+		s.violate("ticket probe: ghost tenant returned %v, want ErrUnknownTenant", err)
+	} else {
+		s.recordReject(probeRound, CatRejectedUnknownTenant)
+	}
+
+	// 4. Expired ticket: device 1 still holds the original wide ticket;
+	// once the clock passes the TTL its MACs must be refused.
+	s.w.clock.Add(simTicketTTL + 1)
+	expired, err := s.contribute(s.w.devices[1], probeRound, value, private)
+	if err != nil {
+		s.violate("ticket probe: expired contribute: %v", err)
+		return
+	}
+	if err := s.w.stack.registry.Ingest(expired); !errors.Is(err, service.ErrTicketExpired) {
+		s.violate("ticket probe: expired ticket returned %v, want ErrTicketExpired", err)
+	} else {
+		s.recordReject(probeRound, CatRejectedExpiredTicket)
+	}
+	if _, ok := s.w.manager.Lookup(probeRound); ok {
+		s.violate("ticket probe: probes created round %d", probeRound)
+	}
+}
+
+// probePayload builds one honest contribution for the probe round in the
+// workload's shape.
+func (s *simulation) probePayload(round uint64) (fixed.Vector, []int64) {
+	if s.cfg.Workload == WorkloadBotdetect {
+		return botdetect.VerdictContribution(), planFeatures(s.cfg.Seed, round, 0, false)
+	}
+	value := fixed.NewVector(s.cfg.Dim)
+	for i := range value {
+		value[i] = fixed.FromFloat(0.5)
+	}
+	return value, nil
 }
 
 // sealRound releases the round's stragglers to race Seal, settles the

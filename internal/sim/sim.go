@@ -188,6 +188,16 @@ type Config struct {
 	ServiceName string
 	// Workload selects the tenant's contribution shape and predicate.
 	Workload Workload
+
+	// Ticketed switches the fleet onto the attested-session-ticket fast
+	// path: after provisioning, every device runs one grant exchange (one
+	// ECDSA verification service-side) and MACs its contributions instead
+	// of ECDSA-signing them. All fault semantics carry over — a corrupted
+	// submission now means a flipped MAC — and the run additionally probes
+	// the ticket-specific attacks (forged MAC on a fresh round, round
+	// outside the ticket window, expired ticket, ticket replayed onto a
+	// tenant that never granted it) before reconciling the accounting.
+	Ticketed bool
 }
 
 // withDefaults fills zero values and validates the configuration.
@@ -285,6 +295,12 @@ const (
 	CatRejectedWindow    = "rejected/out-of-window"
 	CatStragglerAccepted = "straggler/accepted"
 	CatStragglerRejected = "straggler/rejected"
+
+	// Ticket-probe categories (Ticketed runs only).
+	CatRejectedForgedMAC     = "rejected/forged-mac"
+	CatRejectedTicketWindow  = "rejected/ticket-window"
+	CatRejectedExpiredTicket = "rejected/expired-ticket"
+	CatRejectedUnknownTenant = "rejected/unknown-tenant"
 )
 
 // Tally counts outcomes by category.

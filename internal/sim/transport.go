@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -23,10 +24,22 @@ type lane struct {
 	close  func() error
 }
 
-// transportPool fans submissions across lanes round-robin.
+// transportPool fans submissions across lanes round-robin. grantFn is the
+// ticket control plane: the registry directly for the in-process
+// transport, the gaas ticket-grant command on lane 0 otherwise (nil when
+// the ingestor cannot grant).
 type transportPool struct {
-	lanes []*lane
-	next  atomic.Uint32
+	lanes   []*lane
+	next    atomic.Uint32
+	grantFn func(req []byte) ([]byte, error)
+}
+
+// grant runs one ticket exchange over the pool's control plane.
+func (p *transportPool) grant(req []byte) ([]byte, error) {
+	if p.grantFn == nil {
+		return nil, errors.New("sim: transport cannot grant tickets")
+	}
+	return p.grantFn(req)
 }
 
 func (p *transportPool) submit(batch [][]byte) (int, []error, error) {
@@ -65,6 +78,11 @@ func newDirectPool(ing batchIngestor, n int) *transportPool {
 			},
 		}
 	}
+	if g, ok := ing.(interface {
+		GrantTicket([]byte) ([]byte, error)
+	}); ok {
+		p.grantFn = g.GrantTicket
+	}
 	return p
 }
 
@@ -72,6 +90,7 @@ func newDirectPool(ing batchIngestor, n int) *transportPool {
 // like n independent submitting hosts) and wraps them as tally-only lanes.
 func newGaasPool(dial func() (net.Conn, error), verifier *tee.QuoteVerifier, serviceName string, n int) (*transportPool, error) {
 	p := &transportPool{lanes: make([]*lane, 0, n)}
+	var client0 *gaas.Client
 	for i := 0; i < n; i++ {
 		conn, err := dial()
 		if err != nil {
@@ -84,6 +103,9 @@ func newGaasPool(dial func() (net.Conn, error), verifier *tee.QuoteVerifier, ser
 			p.close()
 			return nil, err
 		}
+		if i == 0 {
+			client0 = client
+		}
 		p.lanes = append(p.lanes, &lane{
 			submit: func(batch [][]byte) (int, []error, error) {
 				accepted, _, err := client.SubmitBatch(batch)
@@ -91,6 +113,15 @@ func newGaasPool(dial func() (net.Conn, error), verifier *tee.QuoteVerifier, ser
 			},
 			close: client.Close,
 		})
+	}
+	// Ticket grants ride lane 0's connection; the lane lock serializes
+	// them with that lane's submissions (the frame protocol is strictly
+	// request/response per connection).
+	l0 := p.lanes[0]
+	p.grantFn = func(req []byte) ([]byte, error) {
+		l0.mu.Lock()
+		defer l0.mu.Unlock()
+		return client0.RequestTicket(req)
 	}
 	return p, nil
 }

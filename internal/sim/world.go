@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"net"
+	"sync/atomic"
 
 	"glimmers/internal/blind"
 	"glimmers/internal/botdetect"
@@ -12,6 +13,14 @@ import (
 	"glimmers/internal/predicate"
 	"glimmers/internal/service"
 	"glimmers/internal/tee"
+)
+
+// Ticketed-mode constants: a deterministic epoch for the injected ticket
+// clock and the grant TTL the expiry probe advances past. Wall time never
+// enters a simulation.
+const (
+	simTicketEpoch = int64(1_700_000_000)
+	simTicketTTL   = int64(3600)
 )
 
 // dropKey identifies one planned dropout.
@@ -107,6 +116,11 @@ type world struct {
 	// distributed at provisioning time as blind.BackupShares would be.
 	dropShares map[dropKey][]blind.Share
 
+	// clock drives ticket expiry in ticketed runs (nil otherwise): a
+	// deterministic fake the expiry probe advances, so the trace stays a
+	// pure function of the configuration.
+	clock *atomic.Int64
+
 	pool *transportPool
 }
 
@@ -153,12 +167,29 @@ func newWorld(cfg Config, p *plan, st *stack) (*world, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Ticketed runs: a per-tenant ticket table under an injected clock. The
+	// window cap is generous enough to cover the plan's bogus rounds, so
+	// the out-of-window fault keeps its round-admission semantics (the
+	// manager's window refuses it, not the ticket's); the ticket window
+	// itself is probed separately with a deliberately tight grant.
+	var ticketPolicy *service.TicketConfig
+	if cfg.Ticketed {
+		w.clock = new(atomic.Int64)
+		w.clock.Store(simTicketEpoch)
+		ticketPolicy = &service.TicketConfig{
+			MaxTickets: 2*cfg.Devices + 16,
+			TTL:        simTicketTTL,
+			MaxWindow:  2*bogusRoundOffset + 64,
+			Now:        w.clock.Load,
+		}
+	}
 	w.tenant, err = st.registry.AddTenant(service.TenantConfig{
-		Name:    cfg.ServiceName,
-		Verify:  svc.ContributionVerifyKey(),
-		Dim:     cfg.Dim,
-		Workers: cfg.Workers,
-		Shards:  cfg.Shards,
+		Name:         cfg.ServiceName,
+		Verify:       svc.ContributionVerifyKey(),
+		Dim:          cfg.Dim,
+		TicketPolicy: ticketPolicy,
+		Workers:      cfg.Workers,
+		Shards:       cfg.Shards,
 		// Each round's cohort is the fleet (plus injected duplicates and
 		// replays); pre-sizing the dedup shards keeps steady-state ingest
 		// on the zero-allocation path.
@@ -181,14 +212,45 @@ func newWorld(cfg Config, p *plan, st *stack) (*world, error) {
 		w.shutdown()
 		return nil, err
 	}
+	if err := w.issueTickets(); err != nil {
+		w.shutdown()
+		return nil, err
+	}
 	return w, nil
+}
+
+// issueTickets runs each device's grant exchange through the transport
+// (the gaas ticket-grant command on the pipe/TCP transports, the registry
+// directly on the in-process one): the session's single asymmetric
+// operation, after which every contribution rides the MAC fast path. The
+// window covers the plan's bogus rounds deliberately — see the ticket
+// policy above.
+func (w *world) issueTickets() error {
+	if !w.cfg.Ticketed {
+		return nil
+	}
+	last := uint64(1) + 2*bogusRoundOffset
+	for i, dev := range w.devices {
+		req, err := dev.TicketRequest(1, last)
+		if err != nil {
+			return fmt.Errorf("sim: device %d ticket request: %w", i, err)
+		}
+		grant, err := w.pool.grant(req)
+		if err != nil {
+			return fmt.Errorf("sim: device %d ticket grant: %w", i, err)
+		}
+		if err := dev.InstallTicket(grant); err != nil {
+			return fmt.Errorf("sim: device %d ticket install: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // dealMasks draws each round's zero-sum dealer masks (including the bogus
 // rounds out-of-window injections will name) and Shamir-shares the masks
 // of planned dropouts among the other devices.
 func (w *world) dealMasks(p *plan) error {
-	rounds := make([]uint64, 0, 2*len(p.rounds))
+	rounds := make([]uint64, 0, 2*len(p.rounds)+1)
 	for _, rp := range p.rounds {
 		rounds = append(rounds, rp.round)
 		for _, dp := range rp.devices {
@@ -197,6 +259,11 @@ func (w *world) dealMasks(p *plan) error {
 				break
 			}
 		}
+	}
+	if w.cfg.Ticketed {
+		// The ticket probes contribute (and are refused) against one round
+		// past the plan; the enclaves still need its dealer masks to blind.
+		rounds = append(rounds, uint64(w.cfg.Rounds+1))
 	}
 	for _, round := range rounds {
 		seed := fmt.Appendf(nil, "sim/%s/%d/masks/%d", w.cfg.ServiceName, w.cfg.Seed, round)

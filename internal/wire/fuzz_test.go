@@ -37,6 +37,52 @@ func FuzzDecodeBatch(f *testing.F) {
 	})
 }
 
+// FuzzDecodeTicket feeds attacker-controlled bytes to both ticket codecs —
+// the control-plane parsers a service runs on unauthenticated input before
+// any signature or MAC has been checked. Neither may panic or allocate
+// beyond what the input justifies, and on success each encoding must be
+// canonical (re-encode reproduces the input byte for byte). The seeds cover
+// the interesting refusal shapes: a truncated ticket, a grant naming the
+// wrong tenant, an already-expired grant, and a bit-flipped request whose
+// decode still succeeds (the flip lands in the signature, which only the
+// verifier refuses).
+func FuzzDecodeTicket(f *testing.F) {
+	req := goldenTicketRequest()
+	grant := goldenTicketGrant()
+	f.Add(EncodeTicketRequest(req))
+	f.Add(EncodeTicketGrant(grant))
+	// Truncated ticket.
+	f.Add(EncodeTicketGrant(grant)[:10])
+	// Wrong tenant: structurally valid, refused only by the name check.
+	wrong := grant
+	wrong.Service = "ghost.invalid"
+	f.Add(EncodeTicketGrant(wrong))
+	// Expired: structurally valid, refused only by the expiry check.
+	expired := grant
+	expired.ExpiresUnix = 1
+	f.Add(EncodeTicketGrant(expired))
+	// Bit-flipped MAC/signature byte on the request.
+	flipped := EncodeTicketRequest(req)
+	flipped[len(flipped)-1] ^= 0x80
+	f.Add(flipped)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if r, err := DecodeTicketRequest(data); err == nil {
+			if re := EncodeTicketRequest(r); !bytes.Equal(re, data) {
+				t.Fatalf("request decode/encode not canonical:\n in: %x\nout: %x", data, re)
+			}
+			if len(r.SignedBytes()) == 0 {
+				t.Fatal("empty signing preimage for a decodable request")
+			}
+		}
+		if g, err := DecodeTicketGrant(data); err == nil {
+			if re := EncodeTicketGrant(g); !bytes.Equal(re, data) {
+				t.Fatalf("grant decode/encode not canonical:\n in: %x\nout: %x", data, re)
+			}
+		}
+	})
+}
+
 // FuzzReader drives the raw field readers over arbitrary bytes in a fixed
 // sequence, checking the sticky-error contract: no panics, and after any
 // failure every subsequent read yields a zero value.

@@ -1,0 +1,105 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// goldenTicketRequest and goldenTicketGrant are the frozen control-plane
+// fixtures: the ticket handshake is cross-version protocol surface, so its
+// bytes are pinned the same way the batch and hello encodings are.
+func goldenTicketRequest() TicketRequest {
+	return TicketRequest{
+		Service:     "iot.example",
+		DevicePub:   bytes.Repeat([]byte{0x11}, DHPublicLen),
+		Measurement: bytes.Repeat([]byte{0x22}, MeasurementLen),
+		RoundFirst:  3,
+		RoundLast:   66,
+		Signature:   []byte{0xAA, 0xBB, 0xCC, 0xDD},
+	}
+}
+
+func goldenTicketGrant() TicketGrant {
+	return TicketGrant{
+		Service:     "iot.example",
+		ID:          0x0102030405060708,
+		ServerPub:   bytes.Repeat([]byte{0x33}, DHPublicLen),
+		RoundFirst:  3,
+		RoundLast:   35,
+		ExpiresUnix: 1700000600,
+	}
+}
+
+func TestGoldenTicketRequest(t *testing.T) {
+	want := readGolden(t, "ticket_request.hex")
+	got := EncodeTicketRequest(goldenTicketRequest())
+	if !bytes.Equal(got, want) {
+		t.Fatalf("ticket request encoding changed:\n got: %x\nwant: %x", got, want)
+	}
+	dec, err := DecodeTicketRequest(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := EncodeTicketRequest(dec); !bytes.Equal(re, want) {
+		t.Fatalf("decode/encode not canonical")
+	}
+	wantPre := readGolden(t, "ticket_request_preimage.hex")
+	if pre := dec.SignedBytes(); !bytes.Equal(pre, wantPre) {
+		t.Fatalf("ticket request signing preimage changed:\n got: %x\nwant: %x", pre, wantPre)
+	}
+}
+
+func TestGoldenTicketGrant(t *testing.T) {
+	want := readGolden(t, "ticket_grant.hex")
+	got := EncodeTicketGrant(goldenTicketGrant())
+	if !bytes.Equal(got, want) {
+		t.Fatalf("ticket grant encoding changed:\n got: %x\nwant: %x", got, want)
+	}
+	dec, err := DecodeTicketGrant(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := EncodeTicketGrant(dec); !bytes.Equal(re, want) {
+		t.Fatalf("decode/encode not canonical")
+	}
+}
+
+// TestTicketDecodeRefusals pins the refusal surface shared with the fuzz
+// target: truncation, trailing bytes, and wrong-length fixed fields.
+func TestTicketDecodeRefusals(t *testing.T) {
+	req := EncodeTicketRequest(goldenTicketRequest())
+	grant := EncodeTicketGrant(goldenTicketGrant())
+	for name, data := range map[string][]byte{
+		"req-truncated":   req[:len(req)-2],
+		"req-trailing":    append(append([]byte(nil), req...), 0x00),
+		"req-garbage":     {0xFF, 0xFF, 0xFF, 0xFF},
+		"grant-truncated": grant[:len(grant)-2],
+		"grant-trailing":  append(append([]byte(nil), grant...), 0x00),
+	} {
+		switch {
+		case bytes.HasPrefix([]byte(name), []byte("req")):
+			if _, err := DecodeTicketRequest(data); err == nil {
+				t.Errorf("%s: accepted", name)
+			}
+		default:
+			if _, err := DecodeTicketGrant(data); err == nil {
+				t.Errorf("%s: accepted", name)
+			}
+		}
+	}
+	shortPub := goldenTicketRequest()
+	shortPub.DevicePub = shortPub.DevicePub[:16]
+	if _, err := DecodeTicketRequest(EncodeTicketRequest(shortPub)); err == nil {
+		t.Error("accepted request with short device public value")
+	}
+	shortMeas := goldenTicketRequest()
+	shortMeas.Measurement = shortMeas.Measurement[:8]
+	if _, err := DecodeTicketRequest(EncodeTicketRequest(shortMeas)); err == nil {
+		t.Error("accepted request with short measurement")
+	}
+	shortServer := goldenTicketGrant()
+	shortServer.ServerPub = shortServer.ServerPub[:16]
+	if _, err := DecodeTicketGrant(EncodeTicketGrant(shortServer)); err == nil {
+		t.Error("accepted grant with short server public value")
+	}
+}

@@ -1,0 +1,130 @@
+package xcrypto
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"testing"
+
+	"glimmers/internal/race"
+)
+
+// TestMACStateMatchesStdlibHMAC locks the hand-rolled reusable state to the
+// standard library's HMAC-SHA256 across sizes and rekeying.
+func TestMACStateMatchesStdlibHMAC(t *testing.T) {
+	var m MACState
+	for i, msgLen := range []int{0, 1, 31, 32, 63, 64, 65, 1000, 4096} {
+		var key SessionKey
+		for j := range key {
+			key[j] = byte(i*31 + j)
+		}
+		msg := bytes.Repeat([]byte{byte(i + 1)}, msgLen)
+		ref := hmac.New(sha256.New, key[:])
+		ref.Write(msg)
+		want := ref.Sum(nil)
+
+		var got [MACSize]byte
+		m.Sum(&key, msg, &got)
+		if !bytes.Equal(got[:], want) {
+			t.Fatalf("msgLen %d: MACState.Sum diverges from crypto/hmac", msgLen)
+		}
+		if !m.Verify(&key, msg, want) {
+			t.Fatalf("msgLen %d: Verify refused the reference MAC", msgLen)
+		}
+		if one := SessionMAC(&key, msg); !bytes.Equal(one[:], want) {
+			t.Fatalf("msgLen %d: SessionMAC diverges", msgLen)
+		}
+	}
+}
+
+// TestMACVerifyRefusals pins the refusal surface: flipped bit anywhere in
+// the tag, wrong key, wrong message, wrong length.
+func TestMACVerifyRefusals(t *testing.T) {
+	key, err := NewSessionKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("glimmers: per-session amortized authentication")
+	mac := SessionMAC(&key, msg)
+	var m MACState
+	for i := 0; i < MACSize; i++ {
+		bad := mac
+		bad[i] ^= 0x01
+		if m.Verify(&key, msg, bad[:]) {
+			t.Fatalf("accepted MAC with bit flipped in byte %d", i)
+		}
+	}
+	otherKey, err := NewSessionKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Verify(&otherKey, msg, mac[:]) {
+		t.Fatal("accepted MAC under the wrong key")
+	}
+	if m.Verify(&key, append([]byte(nil), msg[:len(msg)-1]...), mac[:]) {
+		t.Fatal("accepted MAC over a different message")
+	}
+	if m.Verify(&key, msg, mac[:MACSize-1]) {
+		t.Fatal("accepted truncated MAC")
+	}
+	if !m.Verify(&key, msg, mac[:]) {
+		t.Fatal("state poisoned: the genuine MAC no longer verifies")
+	}
+}
+
+// TestMACStateAllocFree pins the hot-path contract: steady-state Sum and
+// Verify on a warmed state perform zero heap allocations.
+func TestMACStateAllocFree(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation accounting differs under the race detector")
+	}
+	var m MACState
+	key, err := NewSessionKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := bytes.Repeat([]byte{0xAB}, 2048)
+	mac := SessionMAC(&key, msg)
+	var out [MACSize]byte
+	m.Sum(&key, msg, &out) // warm: create the hasher
+	if got := testing.AllocsPerRun(500, func() {
+		m.Sum(&key, msg, &out)
+		if !m.Verify(&key, msg, mac[:]) {
+			t.Fatal("verify failed")
+		}
+	}); got > 0 {
+		t.Errorf("MACState Sum+Verify: %.1f allocs/op, want 0", got)
+	}
+}
+
+// TestDeriveTicketKeyDomainSeparation: the key is bound to service and
+// ticket identity, and both DH directions derive the same key.
+func TestDeriveTicketKeyDomainSeparation(t *testing.T) {
+	device, err := NewDHKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := NewDHKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := device.Shared(server.PublicBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := server.Shared(device.PublicBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := DeriveTicketKey(s1, "svc.example", 7)
+	b := DeriveTicketKey(s2, "svc.example", 7)
+	if a != b {
+		t.Fatal("the two DH directions derive different ticket keys")
+	}
+	if a == DeriveTicketKey(s1, "other.example", 7) {
+		t.Fatal("ticket key not bound to the service name")
+	}
+	if a == DeriveTicketKey(s1, "svc.example", 8) {
+		t.Fatal("ticket key not bound to the ticket ID")
+	}
+}
