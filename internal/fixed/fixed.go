@@ -15,9 +15,9 @@
 package fixed
 
 import (
-	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"sync"
 )
 
 // FracBits is the number of fractional bits in the encoding.
@@ -98,17 +98,25 @@ func (v Vector) Clone() Vector {
 	return out
 }
 
+// digestScratch pools the contiguous serialization buffer Digest hashes, so
+// per-round digests (sim traces, shutdown reports) reuse one buffer per P
+// instead of re-growing it every call.
+var digestScratch = sync.Pool{New: func() any { return new([]byte) }}
+
 // Digest returns a stable 16-hex-digit digest of v (FNV-64a over the
 // big-endian ring bits) — the aggregate fingerprint shared by the fleet
 // simulator's traces and glimmerd's shutdown report, so the two can be
-// compared line for line.
+// compared line for line. The whole vector is serialized into one reused
+// contiguous buffer and hashed with a single Write: the byte stream — and
+// therefore the digest — is identical to the original per-element loop,
+// which fed the hasher through an interface call per element.
 func (v Vector) Digest() string {
+	bp := digestScratch.Get().(*[]byte)
+	buf := v.AppendWire((*bp)[:0])
 	h := fnv.New64a()
-	var buf [8]byte
-	for _, r := range v {
-		binary.BigEndian.PutUint64(buf[:], uint64(r))
-		_, _ = h.Write(buf[:])
-	}
+	_, _ = h.Write(buf)
+	*bp = buf
+	digestScratch.Put(bp)
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
@@ -119,9 +127,7 @@ func (v Vector) AddInPlace(other Vector) {
 	if len(v) != len(other) {
 		panic(fmt.Sprintf("fixed: vector length mismatch %d != %d", len(v), len(other)))
 	}
-	for i := range v {
-		v[i] += other[i]
-	}
+	addLanes(v, other)
 }
 
 // SubInPlace subtracts other from v element-wise.

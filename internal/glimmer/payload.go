@@ -309,20 +309,31 @@ func (s *ContributionScratch) Decode(data []byte) ([]byte, error) {
 	return s.signed, nil
 }
 
+// codecScratchPool recycles ContributionScratch values across the copying
+// decoders, so DecodeSignedContribution[Bytes] pays only for the copies it
+// hands out (vector, signature, signed bytes) instead of rebuilding the
+// decode state — bits buffer, name string, preimage buffer — per call.
+var codecScratchPool = sync.Pool{New: func() any { return new(ContributionScratch) }}
+
 // DecodeSignedContributionBytes decodes data and additionally returns the
 // exact byte string the signature covers. Unlike ContributionScratch.Decode
 // (which it wraps), the returned struct and signed bytes are independent
-// copies that outlive the input.
+// copies that outlive the input. On error the returned struct is zero.
 func DecodeSignedContributionBytes(data []byte) (SignedContribution, []byte, error) {
-	var s ContributionScratch
+	s := codecScratchPool.Get().(*ContributionScratch)
 	signed, err := s.Decode(data)
-	sc := s.SC
 	if err != nil {
-		return sc, nil, err
+		s.SC.Signature = nil // never pool a view of the caller's input
+		codecScratchPool.Put(s)
+		return SignedContribution{}, nil, err
 	}
+	sc := s.SC
 	sc.Blinded = append(fixed.Vector(nil), sc.Blinded...)
 	sc.Signature = append([]byte(nil), sc.Signature...)
-	return sc, append([]byte(nil), signed...), nil
+	out := append([]byte(nil), signed...)
+	s.SC.Signature = nil
+	codecScratchPool.Put(s)
+	return sc, out, nil
 }
 
 // PeekContributionRound reads only the round number from an encoded

@@ -125,7 +125,7 @@ type TicketScratch struct {
 	// its contents are unspecified.
 	TC TicketedContribution
 
-	bits []uint64
+	view TicketedView
 	macd []byte
 }
 
@@ -133,42 +133,16 @@ type TicketScratch struct {
 // covers (header || fields), which aliases the scratch. Steady state it
 // performs zero heap allocations: the preimage is recovered by copying the
 // input prefix into a reused buffer instead of re-encoding the struct.
+// Decode is the materializing wrapper over TicketedView.Decode; the batch
+// ingest path uses the view directly and never builds the vector at all.
 func (s *TicketScratch) Decode(data []byte) ([]byte, error) {
-	var r wire.Reader
-	r.Reset(data)
-	tc := &s.TC
-	if name := r.BytesView(); string(name) != tc.ServiceName {
-		tc.ServiceName = string(name)
+	if err := s.view.Decode(data); err != nil {
+		return nil, err
 	}
-	tc.Round = r.Uint64()
-	hdr := r.BytesView()
-	if len(hdr) != ticketHeaderLen || string(hdr[:len(ticketedMagic)]) != ticketedMagic {
-		if r.Err() == nil {
-			return nil, fmt.Errorf("glimmer: ticketed contribution: bad ticket header (%d bytes)", len(hdr))
-		}
-	} else {
-		tc.TicketID = binary.BigEndian.Uint64(hdr[len(ticketedMagic):])
-	}
-	s.bits = r.Uint64sInto(s.bits)
-	if cap(tc.Blinded) < len(s.bits) {
-		tc.Blinded = make(fixed.Vector, len(s.bits))
-	} else {
-		tc.Blinded = tc.Blinded[:len(s.bits)]
-	}
-	for i, b := range s.bits {
-		tc.Blinded[i] = fixed.Ring(b)
-	}
-	tc.Confidence = int64(r.Uint64())
-	fieldsEnd := len(data) - r.Remaining()
-	tc.MAC = r.BytesView()
-	if err := r.Done(); err != nil {
-		return nil, fmt.Errorf("glimmer: ticketed contribution: %w", err)
-	}
-	if len(tc.MAC) != xcrypto.MACSize {
-		return nil, fmt.Errorf("glimmer: ticketed contribution: MAC is %d bytes", len(tc.MAC))
-	}
-	s.macd = append(s.macd[:0], ticketedHeader...)
-	s.macd = append(s.macd, data[:fieldsEnd]...)
+	s.view.materialize(&s.TC, s.TC.Blinded)
+	head, tail := s.view.PreimageParts()
+	s.macd = append(s.macd[:0], head...)
+	s.macd = append(s.macd, tail...)
 	return s.macd, nil
 }
 

@@ -1,0 +1,180 @@
+package glimmer
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"glimmers/internal/fixed"
+	"glimmers/internal/race"
+	"glimmers/internal/xcrypto"
+)
+
+// TestTicketedViewMatchesScratch locks the zero-copy decoder to the
+// materializing one: same accepted fields, same lane values, and a MAC
+// preimage (as two parts) identical to the scratch's joined buffer.
+func TestTicketedViewMatchesScratch(t *testing.T) {
+	key := xcrypto.SessionKey{9, 9, 9}
+	var s TicketScratch
+	var v TicketedView
+	var mac xcrypto.MACState
+	for i := 0; i < 8; i++ {
+		tc := goldenTicketed()
+		tc.Round = uint64(i)
+		tc.TicketID = uint64(2000 + i)
+		raw := SealTicketedContribution(tc, &key)
+		preimage, err := s.Decode(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v.Decode(raw); err != nil {
+			t.Fatal(err)
+		}
+		if string(v.ServiceName) != s.TC.ServiceName || v.Round != s.TC.Round ||
+			v.TicketID != s.TC.TicketID || v.Confidence != s.TC.Confidence {
+			t.Fatalf("view header diverges from scratch: %+v vs %+v", v, s.TC)
+		}
+		if !bytes.Equal(v.MAC, s.TC.MAC) {
+			t.Fatal("view MAC diverges")
+		}
+		if v.Lanes() != len(s.TC.Blinded) {
+			t.Fatalf("view has %d lanes, scratch %d", v.Lanes(), len(s.TC.Blinded))
+		}
+		sum := fixed.NewVector(v.Lanes())
+		fixed.AccumulateWireInto(sum, v.LaneBytes)
+		for j := range sum {
+			if sum[j] != s.TC.Blinded[j] {
+				t.Fatalf("lane %d: wire accumulate %#x, scratch decode %#x", j, uint64(sum[j]), uint64(s.TC.Blinded[j]))
+			}
+		}
+		head, tail := v.PreimageParts()
+		joined := append(append([]byte(nil), head...), tail...)
+		if !bytes.Equal(joined, preimage) {
+			t.Fatal("preimage parts do not join to the scratch preimage")
+		}
+		mac.SetKey(&key)
+		if !mac.VerifyKeyed(head, tail, v.MAC) {
+			t.Fatal("sealed MAC does not verify over the view's preimage parts")
+		}
+	}
+}
+
+// TestTicketedViewRejectsMalformed holds the view decoder to the exact
+// refusal surface (and error strings) of the scratch decoder.
+func TestTicketedViewRejectsMalformed(t *testing.T) {
+	good := EncodeTicketedContribution(goldenTicketed())
+	badMagic := append([]byte(nil), good...)
+	hdrOff := 4 + len("golden.example") + 8 + 4
+	copy(badMagic[hdrOff:], "NOPE")
+	shortMAC := goldenTicketed()
+	shortMAC.MAC = shortMAC.MAC[:16]
+	var s TicketScratch
+	var v TicketedView
+	for name, raw := range map[string][]byte{
+		"truncated": good[:len(good)-3],
+		"trailing":  append(append([]byte(nil), good...), 0x00),
+		"garbage":   {0xff, 0xff, 0xff, 0xff},
+		"bad-magic": badMagic,
+		"short-mac": EncodeTicketedContribution(shortMAC),
+	} {
+		_, scratchErr := s.Decode(raw)
+		viewErr := v.Decode(raw)
+		if viewErr == nil {
+			t.Errorf("%s: view accepted malformed input", name)
+			continue
+		}
+		if scratchErr == nil {
+			t.Errorf("%s: scratch accepted what the view refused", name)
+			continue
+		}
+		if viewErr.Error() != scratchErr.Error() {
+			t.Errorf("%s: view error %q != scratch error %q", name, viewErr, scratchErr)
+		}
+	}
+	if err := v.Decode(good); err != nil {
+		t.Fatalf("view did not recover after failures: %v", err)
+	}
+	v.Clear()
+	if v.MAC != nil || v.LaneBytes != nil || v.ServiceName != nil {
+		t.Fatal("Clear left views behind")
+	}
+}
+
+// TestTicketedViewDecodeAllocFree pins the whole point of the view: decode
+// without a single heap allocation, cold or steady.
+func TestTicketedViewDecodeAllocFree(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation accounting differs under the race detector")
+	}
+	raw := EncodeTicketedContribution(goldenTicketed())
+	var v TicketedView
+	if got := testing.AllocsPerRun(500, func() {
+		if err := v.Decode(raw); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 0 {
+		t.Errorf("TicketedView.Decode: %.1f allocs/op, want 0", got)
+	}
+}
+
+// TestDecodeSignedBytesPooledScratch guards the pooled copying decoder: the
+// returned struct must be an independent copy (mutating the input must not
+// reach it), errors must return a zero struct, and concurrent use of the
+// shared pool must stay exact. Run under -race this doubles as the aliasing
+// guard for codecScratchPool.
+func TestDecodeSignedBytesPooledScratch(t *testing.T) {
+	raw := allocContribution(5)
+	sc, signed, err := DecodeSignedContributionBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := append([]byte(nil), raw...)
+	for i := range mutated {
+		mutated[i] ^= 0xFF
+	}
+	sc2, signed2, err := DecodeSignedContributionBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sc.Signature, sc2.Signature) || !bytes.Equal(signed, signed2) {
+		t.Fatal("pooled decode not deterministic")
+	}
+	if _, _, err := DecodeSignedContributionBytes(raw[:len(raw)-2]); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+	if bad, _, _ := DecodeSignedContributionBytes(raw[:len(raw)-2]); bad.ServiceName != "" || bad.Signature != nil {
+		t.Fatal("error return is not the zero struct")
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := allocContribution(100 + w)
+			want, _, err := DecodeSignedContributionBytes(mine)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 200; i++ {
+				got, _, err := DecodeSignedContributionBytes(mine)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got.Round != want.Round || !bytes.Equal(got.Signature, want.Signature) {
+					t.Errorf("worker %d: pooled decode bled across goroutines", w)
+					return
+				}
+				for j := range got.Blinded {
+					if got.Blinded[j] != want.Blinded[j] {
+						t.Errorf("worker %d: vector lane %d corrupted", w, j)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

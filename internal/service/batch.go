@@ -1,0 +1,294 @@
+package service
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"glimmers/internal/fixed"
+	"glimmers/internal/glimmer"
+	"glimmers/internal/xcrypto"
+)
+
+// The batch ingest plan. The per-item hot path pays, for every ticketed
+// contribution: a scratch decode that materializes the vector, a ticket
+// table read, an HMAC whose key schedule is recomputed from scratch, and a
+// shard lock acquisition. A batch shares almost all of that: contributions
+// in one frame overwhelmingly name the same ticket (same session key, same
+// table row) and land across a handful of shards. So AddBatch restructures
+// the work into phases over a per-batch arena:
+//
+//  1. decode every frame into a zero-copy TicketedView (vectors stay as
+//     wire lane bytes) and run the cheap identity checks in submission
+//     order — error slots and the rejected counter land exactly where the
+//     per-item path would put them;
+//  2. resolve each distinct ticket against the table once, then verify all
+//     MACs under a key whose HMAC pad states are computed once per ticket
+//     (xcrypto.MACState.SetKey) instead of once per message;
+//  3. counting-sort the survivors by dedup shard — the sort is stable, so
+//     per-shard processing preserves submission order and duplicates
+//     resolve identically to the per-item path — and take each shard lock
+//     once, bulk-inserting digests and accumulating vectors straight from
+//     the frames' lane bytes (fixed.AccumulateWireInto).
+//
+// The arena is reset once per batch rather than a scratch being pooled per
+// item, and is returned to its pool with every frame view cleared: the
+// must-not-retain contract is the same one putScratch enforces.
+//
+// Signed (ECDSA) contributions are legal in a batch but take the per-item
+// path inline at their submission position; the batch plan exists for the
+// ticketed fast path, which is where the volume is.
+
+// batchItem is one ticketed contribution's phase state.
+type batchItem struct {
+	idx    int // position in the submitted batch
+	group  int // index into ingestArena.groups
+	shard  uint64
+	ok     bool // survived phases 1–2; eligible for the shard phase
+	digest [32]byte
+	view   glimmer.TicketedView
+}
+
+// ticketGroup is one distinct ticket named by the batch, resolved against
+// the table exactly once.
+type ticketGroup struct {
+	id  uint64
+	key xcrypto.SessionKey
+	err error
+}
+
+// ingestArena is the per-batch scratch: everything the batch plan needs,
+// reset once per batch and pooled across batches (and pipelines — the
+// arena is workload-shaped, not round-shaped).
+type ingestArena struct {
+	items  []batchItem
+	groups []ticketGroup
+	counts []int32 // counting sort: per-shard item counts, then offsets
+	starts []int32 // counting sort: per-shard segment starts
+	order  []int32 // item indices, stably grouped by shard
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(ingestArena) }}
+
+// batchMACs keeps the keyed HMAC pad caches warm across batches: a frame
+// stream naming the same ticket skips the key schedule entirely after the
+// first batch.
+var batchMACs = xcrypto.NewBatchVerifier()
+
+// release clears every frame view and returns the arena to the pool. An
+// idle pooled arena must not keep a transport's frame buffers reachable.
+func (a *ingestArena) release() {
+	for i := range a.items {
+		a.items[i].view.Clear()
+	}
+	a.items = a.items[:0]
+	a.groups = a.groups[:0]
+	arenaPool.Put(a)
+}
+
+// group returns the index of the ticket group for id, creating it on first
+// sight. Batches name very few distinct tickets, so a linear scan beats a
+// map (and allocates nothing).
+func (a *ingestArena) group(id uint64) int {
+	for i := range a.groups {
+		if a.groups[i].id == id {
+			return i
+		}
+	}
+	a.groups = append(a.groups, ticketGroup{id: id})
+	return len(a.groups) - 1
+}
+
+// AddBatchErrs is AddBatch writing into a caller-owned error slice (one
+// slot per input, nil for accepted), so steady-state callers can reuse the
+// slice and keep the whole submission allocation-free. It blocks until the
+// batch has settled. len(errs) must equal len(raws).
+func (p *Pipeline) AddBatchErrs(raws [][]byte, errs []error) {
+	if len(errs) != len(raws) {
+		panic(fmt.Sprintf("service: AddBatchErrs got %d error slots for %d inputs", len(errs), len(raws)))
+	}
+	if len(raws) == 0 {
+		return
+	}
+	// Accepted items never write their slot, so a reused errs slice must
+	// start clean.
+	for i := range errs {
+		errs[i] = nil
+	}
+	if err := p.enter(len(raws)); err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return
+	}
+	if p.cfg.Workers == 1 {
+		// Serial plan: the whole batch through one arena, inline.
+		p.processBatch(raws, errs)
+		p.pending.Add(-len(raws))
+		return
+	}
+	p.poolOnce.Do(p.startPool)
+	var wg sync.WaitGroup
+	chunk := (len(raws) + p.cfg.Workers - 1) / p.cfg.Workers
+	if chunk < minBatchChunk {
+		chunk = minBatchChunk
+	}
+	for start := 0; start < len(raws); start += chunk {
+		end := start + chunk
+		if end > len(raws) {
+			end = len(raws)
+		}
+		wg.Add(1)
+		p.jobs <- batchJob{raws: raws[start:end], errs: errs[start:end], wg: &wg}
+	}
+	wg.Wait()
+}
+
+// minBatchChunk bounds fan-out granularity: below this, handoff overhead
+// beats the parallelism.
+const minBatchChunk = 16
+
+// processBatch runs the three-phase plan over one batch. Accept/reject
+// decisions, error values, and the rejected counter match the per-item
+// path exactly; only the cost shape differs.
+func (p *Pipeline) processBatch(raws [][]byte, errs []error) {
+	a := arenaPool.Get().(*ingestArena)
+	defer a.release()
+
+	// Phase 1: decode and cheap identity checks, in submission order.
+	// Signed-variant contributions take the per-item path right here, at
+	// their submission position.
+	for i, raw := range raws {
+		if !glimmer.PeekContributionTicketed(raw) {
+			errs[i] = p.process(raw)
+			continue
+		}
+		if cap(a.items) > len(a.items) {
+			a.items = a.items[:len(a.items)+1]
+		} else {
+			a.items = append(a.items, batchItem{})
+		}
+		it := &a.items[len(a.items)-1]
+		it.idx, it.ok = i, false
+		if err := it.view.Decode(raw); err != nil {
+			errs[i] = p.reject(fmt.Errorf("service: %w", err))
+			continue
+		}
+		if string(it.view.ServiceName) != p.cfg.ServiceName {
+			errs[i] = p.reject(ErrWrongService)
+			continue
+		}
+		if it.view.Round != p.cfg.Round {
+			errs[i] = p.reject(ErrWrongRound)
+			continue
+		}
+		if it.view.Lanes() != p.cfg.Dim {
+			errs[i] = p.reject(ErrWrongDim)
+			continue
+		}
+		if p.cfg.Tickets == nil {
+			errs[i] = p.reject(ErrUnknownTicket)
+			continue
+		}
+		it.group = a.group(it.view.TicketID)
+		it.ok = true
+	}
+
+	// Phase 2: resolve each distinct ticket once, then verify every MAC
+	// under cached pad states. Items are in submission order, which is
+	// almost always a single run of one ticket, so SetKey is a no-op for
+	// all but the first item of each run.
+	if len(a.groups) > 0 {
+		for gi := range a.groups {
+			g := &a.groups[gi]
+			// Every item in the group already passed the round check, so
+			// the group resolves at the pipeline's round — the same
+			// (ticket, round) pair the per-item path would present.
+			g.key, g.err = p.cfg.Tickets.check(g.id, p.cfg.Round)
+		}
+		m := batchMACs.Get()
+		for i := range a.items {
+			it := &a.items[i]
+			if !it.ok {
+				continue
+			}
+			g := &a.groups[it.group]
+			if g.err != nil {
+				it.ok = false
+				errs[it.idx] = p.reject(g.err)
+				continue
+			}
+			m.SetKey(&g.key)
+			head, tail := it.view.PreimageParts()
+			if !m.VerifyKeyed(head, tail, it.view.MAC) {
+				it.ok = false
+				errs[it.idx] = p.reject(ErrBadMAC)
+				continue
+			}
+			// The verified MAC doubles as the dedup digest, exactly as on
+			// the per-item path.
+			copy(it.digest[:], it.view.MAC)
+			it.shard = binary.BigEndian.Uint64(it.digest[:8]) & p.shardMask
+		}
+		batchMACs.Put(m)
+	}
+
+	// Phase 3: stable counting sort by shard, then one lock per shard.
+	nShards := len(p.shards)
+	if cap(a.counts) < nShards {
+		a.counts = make([]int32, nShards)
+		a.starts = make([]int32, nShards)
+	}
+	counts := a.counts[:nShards]
+	starts := a.starts[:nShards]
+	for i := range counts {
+		counts[i] = 0
+	}
+	live := 0
+	for i := range a.items {
+		if a.items[i].ok {
+			counts[a.items[i].shard]++
+			live++
+		}
+	}
+	if live == 0 {
+		return
+	}
+	if cap(a.order) < live {
+		a.order = make([]int32, live)
+	}
+	order := a.order[:live]
+	off := int32(0)
+	for s := range counts {
+		starts[s] = off
+		off += counts[s]
+		counts[s] = starts[s] // reuse as the scatter cursor
+	}
+	for i := range a.items {
+		if it := &a.items[i]; it.ok {
+			order[counts[it.shard]] = int32(i)
+			counts[it.shard]++
+		}
+	}
+	for s := range starts {
+		lo := starts[s]
+		hi := counts[s] // cursor ended at the segment's end
+		if lo == hi {
+			continue
+		}
+		sh := p.shards[s]
+		sh.mu.Lock()
+		for _, k := range order[lo:hi] {
+			it := &a.items[k]
+			if sh.seen[it.digest] {
+				errs[it.idx] = ErrDuplicate
+				p.rejected.Add(1)
+				continue
+			}
+			sh.seen[it.digest] = true
+			fixed.AccumulateWireInto(sh.sum, it.view.LaneBytes)
+			sh.count++
+		}
+		sh.mu.Unlock()
+	}
+}

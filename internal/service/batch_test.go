@@ -1,0 +1,333 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"glimmers/internal/fixed"
+	"glimmers/internal/glimmer"
+	"glimmers/internal/race"
+	"glimmers/internal/xcrypto"
+)
+
+// faultBatch builds a batch mixing every refusal the ticketed path can
+// produce with valid traffic under two tickets, plus raw garbage. The
+// returned batch is the equivalence corpus: the batch plan must land every
+// item exactly where the per-item path does.
+func faultBatch(dim int, round uint64, good, narrow testTicket) [][]byte {
+	ghost := testTicket{id: 9999, key: xcrypto.SessionKey{0xEE}, first: 1, last: 100}
+	forged := append([]byte(nil), ticketedRaw("batch.example", round, dim, 2, good)...)
+	forged[len(forged)-1] ^= 0xFF // flip a MAC byte
+	dup := ticketedRaw("batch.example", round, dim, 3, good)
+	return [][]byte{
+		ticketedRaw("batch.example", round, dim, 1, good), // accept
+		forged,                      // ErrBadMAC
+		dup,                         // accept
+		append([]byte(nil), dup...), // ErrDuplicate
+		ticketedRaw("other.example", round, dim, 4, good),   // ErrWrongService
+		ticketedRaw("batch.example", round+1, dim, 5, good), // ErrWrongRound
+		ticketedRaw("batch.example", round, dim+2, 6, good), // ErrWrongDim
+		ticketedRaw("batch.example", round, dim, 7, ghost),  // ErrUnknownTicket
+		ticketedRaw("batch.example", round, dim, 8, narrow), // ErrTicketWindow
+		{0xFF, 0xFF, 0xFF, 0xFF},                            // decode error
+		ticketedRaw("batch.example", round, dim, 9, good),   // accept
+		ticketedRaw("batch.example", round, dim, 1, good),   // ErrDuplicate of [0]
+	}
+}
+
+func batchPipeline(dim int, round uint64, workers int, tbl *TicketTable) *Pipeline {
+	return NewPipeline(PipelineConfig{
+		ServiceName:    "batch.example",
+		Dim:            dim,
+		Round:          round,
+		Tickets:        tbl,
+		Workers:        workers,
+		ExpectedCohort: 4096,
+	})
+}
+
+// TestAddBatchMatchesPerItem is the batch plan's core contract: identical
+// accept/reject verdicts, error values, rejected counter, and sum as the
+// per-item path, across the full fault mix.
+func TestAddBatchMatchesPerItem(t *testing.T) {
+	const dim, round = 16, uint64(5)
+	tbl := NewTicketTable(TicketConfig{})
+	good := testTicket{id: 7, key: xcrypto.SessionKey{0xA7}, first: 1, last: 1 << 32}
+	narrow := testTicket{id: 8, key: xcrypto.SessionKey{0xB8}, first: 1, last: 2}
+	tbl.Install(good.id, good.key, good.first, good.last, 1<<62)
+	tbl.Install(narrow.id, narrow.key, narrow.first, narrow.last, 1<<62)
+	batch := faultBatch(dim, round, good, narrow)
+
+	ref := batchPipeline(dim, round, 1, tbl)
+	refErrs := make([]error, len(batch))
+	for i, raw := range batch {
+		refErrs[i] = ref.Add(raw)
+	}
+
+	got := batchPipeline(dim, round, 1, tbl)
+	gotErrs := got.AddBatch(batch)
+	for i := range batch {
+		switch {
+		case (refErrs[i] == nil) != (gotErrs[i] == nil):
+			t.Errorf("item %d: per-item err %v, batch err %v", i, refErrs[i], gotErrs[i])
+		case refErrs[i] != nil && refErrs[i].Error() != gotErrs[i].Error():
+			t.Errorf("item %d: per-item err %q, batch err %q", i, refErrs[i], gotErrs[i])
+		}
+	}
+	if ref.Count() != got.Count() || ref.Rejected() != got.Rejected() {
+		t.Errorf("tallies diverge: per-item (%d, %d), batch (%d, %d)",
+			ref.Count(), ref.Rejected(), got.Count(), got.Rejected())
+	}
+	if ref.Sum().Digest() != got.Sum().Digest() {
+		t.Error("sums diverge between per-item and batch paths")
+	}
+	ref.Close()
+	got.Close()
+}
+
+// TestAddBatchMatchesPerItemAcrossWorkers extends the equivalence to the
+// chunked worker fan-out. Chunk boundaries make duplicate attribution
+// racy (one of the pair wins, as with any concurrent ingest), so the
+// per-index comparison gives way to order-independent invariants: the
+// tallies, the sum, and the multiset of error kinds.
+func TestAddBatchMatchesPerItemAcrossWorkers(t *testing.T) {
+	const dim, round = 16, uint64(5)
+	tbl := NewTicketTable(TicketConfig{})
+	good := testTicket{id: 7, key: xcrypto.SessionKey{0xA7}, first: 1, last: 1 << 32}
+	narrow := testTicket{id: 8, key: xcrypto.SessionKey{0xB8}, first: 1, last: 2}
+	tbl.Install(good.id, good.key, good.first, good.last, 1<<62)
+	tbl.Install(narrow.id, narrow.key, narrow.first, narrow.last, 1<<62)
+	batch := faultBatch(dim, round, good, narrow)
+	// Pad with enough valid traffic that every worker count actually chunks.
+	for i := 0; i < 100; i++ {
+		batch = append(batch, ticketedRaw("batch.example", round, dim, 100+i, good))
+	}
+
+	ref := batchPipeline(dim, round, 1, tbl)
+	for _, raw := range batch {
+		_ = ref.Add(raw)
+	}
+	wantSum := ref.Sum().Digest()
+	ref.Close()
+
+	for _, workers := range []int{1, 2, 3, 4} {
+		p := batchPipeline(dim, round, workers, tbl)
+		errs := p.AddBatch(batch)
+		kinds := map[string]int{}
+		for _, err := range errs {
+			if err != nil {
+				kinds[err.Error()]++
+			}
+		}
+		if p.Count() != ref.Count() || p.Rejected() != ref.Rejected() {
+			t.Errorf("workers=%d: tallies (%d, %d), want (%d, %d)",
+				workers, p.Count(), p.Rejected(), ref.Count(), ref.Rejected())
+		}
+		if got := p.Sum().Digest(); got != wantSum {
+			t.Errorf("workers=%d: sum digest %s, want %s", workers, got, wantSum)
+		}
+		for _, sentinel := range []error{ErrBadMAC, ErrDuplicate, ErrWrongService, ErrWrongRound,
+			ErrWrongDim, ErrUnknownTicket, ErrTicketWindow} {
+			n := 0
+			for _, err := range errs {
+				if errors.Is(err, sentinel) {
+					n++
+				}
+			}
+			wantN := 0
+			if sentinel == ErrDuplicate {
+				wantN = 2
+			} else {
+				wantN = 1
+			}
+			if n != wantN {
+				t.Errorf("workers=%d: %d × %v, want %d", workers, n, sentinel, wantN)
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestAddBatchLifecycleRefusal checks the whole-batch refusal path fills
+// every slot.
+func TestAddBatchLifecycleRefusal(t *testing.T) {
+	tbl := NewTicketTable(TicketConfig{})
+	p := batchPipeline(8, 1, 1, tbl)
+	if err := p.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	errs := make([]error, 3)
+	errs[1] = errors.New("stale") // reused slices must be overwritten
+	p.AddBatchErrs(make([][]byte, 3), errs)
+	for i, err := range errs {
+		if !errors.Is(err, ErrRoundSealed) {
+			t.Errorf("slot %d: %v, want ErrRoundSealed", i, err)
+		}
+	}
+	p.Close()
+}
+
+// TestIngestArenaNotAliasedAcrossConcurrentAddBatch is the arena's -race
+// guard, mirroring the pooled-scratch guard from the per-item path: many
+// concurrent AddBatch callers, one ticket per caller, and the final sum
+// must be exact — any arena state bleeding between concurrent batches
+// corrupts a lane.
+func TestIngestArenaNotAliasedAcrossConcurrentAddBatch(t *testing.T) {
+	const (
+		dim       = 32
+		perCaller = 64
+		callers   = 6
+		round     = uint64(5)
+	)
+	tbl := NewTicketTable(TicketConfig{})
+	tickets := make([]testTicket, callers)
+	for c := range tickets {
+		tickets[c] = testTicket{id: uint64(100 + c), key: xcrypto.SessionKey{byte(c + 1)}, first: 1, last: 16}
+		tbl.Install(tickets[c].id, tickets[c].key, tickets[c].first, tickets[c].last, 1<<62)
+	}
+	for _, workers := range []int{1, 4} {
+		p := batchPipeline(dim, round, workers, tbl)
+		all := make([][][]byte, callers)
+		want := fixed.NewVector(dim)
+		for c := 0; c < callers; c++ {
+			all[c] = make([][]byte, perCaller)
+			for i := range all[c] {
+				raw := ticketedRaw("batch.example", round, dim, c*perCaller+i, tickets[c])
+				tc, err := glimmer.DecodeTicketedContribution(raw)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want.AddInPlace(tc.Blinded)
+				all[c][i] = raw
+			}
+		}
+		var wg sync.WaitGroup
+		for c := 0; c < callers; c++ {
+			wg.Add(1)
+			go func(batch [][]byte) {
+				defer wg.Done()
+				for _, err := range p.AddBatch(batch) {
+					if err != nil {
+						t.Errorf("AddBatch: %v", err)
+					}
+				}
+			}(all[c])
+		}
+		wg.Wait()
+		if err := p.Seal(); err != nil {
+			t.Fatal(err)
+		}
+		if p.Count() != callers*perCaller {
+			t.Fatalf("workers=%d: count = %d, want %d", workers, p.Count(), callers*perCaller)
+		}
+		got := p.Sum()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: sum[%d] = %v, want %v (arena aliasing?)", workers, i, got[i], want[i])
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestAddBatchMustNotRetain enforces the frame-buffer contract end to end:
+// once AddBatch returns, the caller may reuse (here: trash) every input
+// buffer without corrupting the aggregate — nothing in the pipeline, its
+// shards, or the pooled arenas may still reference the frames.
+func TestAddBatchMustNotRetain(t *testing.T) {
+	const dim, round = 16, uint64(3)
+	tbl := NewTicketTable(TicketConfig{})
+	tk := testTicket{id: 7, key: xcrypto.SessionKey{0xA7}, first: 1, last: 16}
+	tbl.Install(tk.id, tk.key, tk.first, tk.last, 1<<62)
+	p := batchPipeline(dim, round, 1, tbl)
+	defer p.Close()
+
+	first := make([][]byte, 32)
+	want := fixed.NewVector(dim)
+	for i := range first {
+		first[i] = ticketedRaw("batch.example", round, dim, i, tk)
+		tc, err := glimmer.DecodeTicketedContribution(first[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.AddInPlace(tc.Blinded)
+	}
+	for _, err := range p.AddBatch(first) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Trash every frame the first batch lived in, then keep ingesting.
+	for _, raw := range first {
+		for j := range raw {
+			raw[j] = 0xDD
+		}
+	}
+	second := make([][]byte, 32)
+	for i := range second {
+		second[i] = ticketedRaw("batch.example", round, dim, 1000+i, tk)
+		tc, err := glimmer.DecodeTicketedContribution(second[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.AddInPlace(tc.Blinded)
+	}
+	for _, err := range p.AddBatch(second) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := p.Sum()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sum[%d] = %v, want %v (a frame view was retained)", i, got[i], want[i])
+		}
+	}
+}
+
+// TestAddBatchErrsAllocFree pins the batch plan's zero-allocation contract:
+// steady-state batches through a warmed pipeline, with a caller-owned error
+// slice, allocate nothing per batch.
+func TestAddBatchErrsAllocFree(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation accounting differs under the race detector")
+	}
+	const dim, round, batchSize, runs = 64, uint64(7), 16, 100
+	tbl := NewTicketTable(TicketConfig{})
+	tk := testTicket{id: 42, key: xcrypto.SessionKey{1, 2, 3}, first: 1, last: 16}
+	tbl.Install(tk.id, tk.key, tk.first, tk.last, 1<<62)
+	batches := make([][][]byte, runs+2)
+	for b := range batches {
+		batches[b] = make([][]byte, batchSize)
+		for i := range batches[b] {
+			batches[b][i] = ticketedRaw("batch.example", round, dim, b*batchSize+i, tk)
+		}
+	}
+	p := NewPipeline(PipelineConfig{
+		ServiceName:    "batch.example",
+		Dim:            dim,
+		Round:          round,
+		Tickets:        tbl,
+		Workers:        1,
+		ExpectedCohort: len(batches) * batchSize,
+	})
+	defer p.Close()
+	errs := make([]error, batchSize)
+	p.AddBatchErrs(batches[0], errs) // warm the arena, MAC snapshots, shards
+	b := 0
+	if got := testing.AllocsPerRun(runs, func() {
+		b++
+		p.AddBatchErrs(batches[b], errs)
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}); got > 0 {
+		t.Errorf("AddBatchErrs: %.2f allocs/op, want 0", got)
+	}
+	if p.Count() != (b+1)*batchSize {
+		t.Fatalf("count = %d, want %d", p.Count(), (b+1)*batchSize)
+	}
+}

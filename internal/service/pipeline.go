@@ -134,10 +134,14 @@ type Pipeline struct {
 	finalCount int
 }
 
+// batchJob is one worker's chunk of an AddBatch submission: the chunk runs
+// the whole batch plan (see processBatch) on one worker, so shard locks and
+// ticket resolution amortize across the chunk rather than being paid per
+// item.
 type batchJob struct {
-	raw []byte
-	err *error
-	wg  *sync.WaitGroup
+	raws [][]byte
+	errs []error
+	wg   *sync.WaitGroup
 }
 
 // NewPipeline creates the ingest pipeline for one round.
@@ -269,35 +273,13 @@ func (p *Pipeline) Add(raw []byte) error {
 	return p.process(raw)
 }
 
-// AddBatch verifies and accumulates a batch of encoded contributions,
-// fanning them across the verifier pool, and returns one error slot per
-// input (nil for accepted). It blocks until the whole batch has settled.
+// AddBatch verifies and accumulates a batch of encoded contributions
+// through the batch plan (see batch.go), chunking across the verifier pool
+// when Workers > 1, and returns one error slot per input (nil for
+// accepted). It blocks until the whole batch has settled.
 func (p *Pipeline) AddBatch(raws [][]byte) []error {
 	errs := make([]error, len(raws))
-	if len(raws) == 0 {
-		return errs
-	}
-	if err := p.enter(len(raws)); err != nil {
-		for i := range errs {
-			errs[i] = err
-		}
-		return errs
-	}
-	if p.cfg.Workers == 1 {
-		// Serial baseline: no pool, no handoff.
-		for i, raw := range raws {
-			errs[i] = p.process(raw)
-			p.pending.Done()
-		}
-		return errs
-	}
-	p.poolOnce.Do(p.startPool)
-	var wg sync.WaitGroup
-	wg.Add(len(raws))
-	for i, raw := range raws {
-		p.jobs <- batchJob{raw: raw, err: &errs[i], wg: &wg}
-	}
-	wg.Wait()
+	p.AddBatchErrs(raws, errs)
 	return errs
 }
 
@@ -313,12 +295,9 @@ func (p *Pipeline) startPool() {
 func (p *Pipeline) worker() {
 	defer p.workerWG.Done()
 	for job := range p.jobs {
-		err := p.process(job.raw)
-		if job.err != nil {
-			*job.err = err
-		}
+		p.processBatch(job.raws, job.errs)
 		job.wg.Done()
-		p.pending.Done()
+		p.pending.Add(-len(job.raws))
 	}
 }
 

@@ -335,42 +335,6 @@ func (r *Registry) Ingest(raw []byte) error {
 	return t.manager.Ingest(raw)
 }
 
-// IngestBatch routes a batch of encoded contributions, grouping them by
-// tenant so each tenant's sub-batch rides its own manager (which groups
-// further by round). It returns the number accepted and one error slot per
-// input, aligned with raws. The routing peek itself allocates nothing; the
-// grouping costs O(len(raws)) bookkeeping per call.
-func (r *Registry) IngestBatch(raws [][]byte) (int, []error) {
-	errs := make([]error, len(raws))
-	groups := make(map[*Tenant][]int)
-	for i, raw := range raws {
-		name, err := glimmer.PeekContributionService(raw)
-		if err != nil {
-			errs[i] = r.refuse(fmt.Errorf("service: %w", err))
-			continue
-		}
-		t := r.lookup(name)
-		if t == nil {
-			errs[i] = r.refuse(fmt.Errorf("%w: %q", ErrUnknownTenant, name))
-			continue
-		}
-		groups[t] = append(groups[t], i)
-	}
-	accepted := 0
-	for t, idx := range groups {
-		batch := make([][]byte, len(idx))
-		for j, i := range idx {
-			batch[j] = raws[i]
-		}
-		n, terrs := t.manager.IngestBatch(batch)
-		accepted += n
-		for j, err := range terrs {
-			errs[idx[j]] = err
-		}
-	}
-	return accepted, errs
-}
-
 // GrantTicket routes a ticket request to the tenant it names and runs that
 // tenant's grant exchange (see RoundManager.GrantTicket). Control-plane
 // refusals — unknown tenant included — return to the caller without

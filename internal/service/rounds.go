@@ -374,61 +374,6 @@ func (m *RoundManager) Ingest(raw []byte) error {
 	return p.Add(raw)
 }
 
-// IngestBatch routes a batch of encoded contributions, grouping them by
-// round so each group rides its pipeline's verifier pool. It returns the
-// number accepted and one error slot per input, aligned with raws.
-func (m *RoundManager) IngestBatch(raws [][]byte) (int, []error) {
-	errs := make([]error, len(raws))
-	groups := make(map[uint64][]int)
-	for i, raw := range raws {
-		round, err := glimmer.PeekContributionRound(raw)
-		if err != nil {
-			errs[i] = m.refuse(fmt.Errorf("service: %w", err))
-			continue
-		}
-		groups[round] = append(groups[round], i)
-	}
-	for round, idx := range groups {
-		p, ok := m.Lookup(round)
-		start := 0
-		if !ok {
-			// Gate creation of an unseen round on its first verifying
-			// contribution; items failing the gate are rejected here.
-			for ; start < len(idx) && p == nil; start++ {
-				if err := m.preverify(raws[idx[start]]); err != nil {
-					errs[idx[start]] = m.refuse(err)
-					continue
-				}
-				var cerr error
-				if p, cerr = m.ingestRound(round); cerr != nil {
-					for _, i := range idx[start:] {
-						errs[i] = m.refuse(cerr)
-					}
-					break
-				}
-				start-- // re-include the verifying item in the batch
-			}
-			if p == nil {
-				continue
-			}
-		}
-		batch := make([][]byte, 0, len(idx)-start)
-		for _, i := range idx[start:] {
-			batch = append(batch, raws[i])
-		}
-		for j, err := range p.AddBatch(batch) {
-			errs[idx[start+j]] = err
-		}
-	}
-	accepted := 0
-	for _, err := range errs {
-		if err == nil {
-			accepted++
-		}
-	}
-	return accepted, errs
-}
-
 // Seal seals one round's pipeline (see Pipeline.Seal). Sealing a round
 // that was never opened creates and immediately seals it, so a late
 // straggler cannot reopen it.

@@ -1,0 +1,190 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+
+	"glimmers/internal/glimmer"
+)
+
+// routeScratch pools the grouping bookkeeping the batch routers pay per
+// call: RoundManager.IngestBatch groups by round, Registry.IngestBatch by
+// tenant, and before this both built a fresh map and index slices for every
+// batch — per-frame garbage on a path whose whole point is to amortize
+// per-frame cost. Groups are processed in first-seen submission order
+// (deterministic, unlike the map iteration it replaces); membership is a
+// rescan rather than stored per-group lists, which is O(groups × items)
+// with a group count that is almost always 1.
+type routeScratch struct {
+	rounds  []uint64
+	tenants []*Tenant
+	done    []bool
+	batch   [][]byte
+	idx     []int
+	errs    []error
+}
+
+var routePool = sync.Pool{New: func() any { return new(routeScratch) }}
+
+func getRouteScratch(n int) *routeScratch {
+	rs := routePool.Get().(*routeScratch)
+	if cap(rs.rounds) < n {
+		rs.rounds = make([]uint64, n)
+		rs.tenants = make([]*Tenant, n)
+		rs.done = make([]bool, n)
+	}
+	rs.rounds = rs.rounds[:n]
+	rs.tenants = rs.tenants[:n]
+	rs.done = rs.done[:n]
+	for i := 0; i < n; i++ {
+		rs.done[i] = false
+	}
+	return rs
+}
+
+// release drops every view and pointer the scratch took into the caller's
+// batch before pooling it — the same must-not-retain contract the ingest
+// arena honors.
+func (rs *routeScratch) release() {
+	for i := range rs.batch {
+		rs.batch[i] = nil
+	}
+	for i := range rs.tenants {
+		rs.tenants[i] = nil
+	}
+	for i := range rs.errs {
+		rs.errs[i] = nil
+	}
+	routePool.Put(rs)
+}
+
+// errSlots returns n zeroed error slots backed by the scratch.
+func (rs *routeScratch) errSlots(n int) []error {
+	if cap(rs.errs) < n {
+		rs.errs = make([]error, n)
+	}
+	rs.errs = rs.errs[:n]
+	for i := range rs.errs {
+		rs.errs[i] = nil
+	}
+	return rs.errs
+}
+
+// IngestBatch routes a batch of encoded contributions, grouping them by
+// round so each group runs the pipeline's batch plan. It returns the
+// number accepted and one error slot per input, aligned with raws.
+func (m *RoundManager) IngestBatch(raws [][]byte) (int, []error) {
+	errs := make([]error, len(raws))
+	rs := getRouteScratch(len(raws))
+	defer rs.release()
+	for i, raw := range raws {
+		round, err := glimmer.PeekContributionRound(raw)
+		if err != nil {
+			errs[i] = m.refuse(fmt.Errorf("service: %w", err))
+			rs.done[i] = true
+			continue
+		}
+		rs.rounds[i] = round
+	}
+	for i := range raws {
+		if rs.done[i] {
+			continue
+		}
+		round := rs.rounds[i]
+		rs.idx = rs.idx[:0]
+		for j := i; j < len(raws); j++ {
+			if !rs.done[j] && rs.rounds[j] == round {
+				rs.done[j] = true
+				rs.idx = append(rs.idx, j)
+			}
+		}
+		idx := rs.idx
+		p, ok := m.Lookup(round)
+		start := 0
+		if !ok {
+			// Gate creation of an unseen round on its first verifying
+			// contribution; items failing the gate are rejected here.
+			for ; start < len(idx) && p == nil; start++ {
+				if err := m.preverify(raws[idx[start]]); err != nil {
+					errs[idx[start]] = m.refuse(err)
+					continue
+				}
+				var cerr error
+				if p, cerr = m.ingestRound(round); cerr != nil {
+					for _, k := range idx[start:] {
+						errs[k] = m.refuse(cerr)
+					}
+					break
+				}
+				start-- // re-include the verifying item in the batch
+			}
+			if p == nil {
+				continue
+			}
+		}
+		rs.batch = rs.batch[:0]
+		for _, k := range idx[start:] {
+			rs.batch = append(rs.batch, raws[k])
+		}
+		suberrs := rs.errSlots(len(rs.batch))
+		p.AddBatchErrs(rs.batch, suberrs)
+		for j, err := range suberrs {
+			errs[idx[start+j]] = err
+		}
+	}
+	accepted := 0
+	for _, err := range errs {
+		if err == nil {
+			accepted++
+		}
+	}
+	return accepted, errs
+}
+
+// IngestBatch routes a batch of encoded contributions, grouping them by
+// tenant so each tenant's sub-batch rides its own manager (which groups
+// further by round). It returns the number accepted and one error slot per
+// input, aligned with raws. The routing peek itself allocates nothing; the
+// grouping bookkeeping is pooled.
+func (r *Registry) IngestBatch(raws [][]byte) (int, []error) {
+	errs := make([]error, len(raws))
+	rs := getRouteScratch(len(raws))
+	defer rs.release()
+	for i, raw := range raws {
+		name, err := glimmer.PeekContributionService(raw)
+		if err != nil {
+			errs[i] = r.refuse(fmt.Errorf("service: %w", err))
+			rs.done[i] = true
+			continue
+		}
+		t := r.lookup(name)
+		if t == nil {
+			errs[i] = r.refuse(fmt.Errorf("%w: %q", ErrUnknownTenant, name))
+			rs.done[i] = true
+			continue
+		}
+		rs.tenants[i] = t
+	}
+	accepted := 0
+	for i := range raws {
+		if rs.done[i] {
+			continue
+		}
+		t := rs.tenants[i]
+		rs.idx = rs.idx[:0]
+		rs.batch = rs.batch[:0]
+		for j := i; j < len(raws); j++ {
+			if !rs.done[j] && rs.tenants[j] == t {
+				rs.done[j] = true
+				rs.idx = append(rs.idx, j)
+				rs.batch = append(rs.batch, raws[j])
+			}
+		}
+		n, terrs := t.manager.IngestBatch(rs.batch)
+		accepted += n
+		for j, err := range terrs {
+			errs[rs.idx[j]] = err
+		}
+	}
+	return accepted, errs
+}

@@ -281,6 +281,24 @@ func (r *Reader) Uint64sInto(dst []uint64) []uint64 {
 	return dst
 }
 
+// Uint64sView reads a counted sequence of 64-bit values as a view of its
+// raw big-endian lane bytes — 8 bytes per value, contiguous, aliasing the
+// reader's input — without decoding anything. The batch ingest path
+// accumulates straight from these bytes (fixed.AccumulateWireInto), so a
+// vector travels from transport frame to shard accumulator with zero
+// intermediate copies. The count is len(view)/8.
+func (r *Reader) Uint64sView() []byte {
+	n := r.Uint32()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(n)*8 > uint64(len(r.data)-r.off) {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	return r.take(int(n) * 8)
+}
+
 // Done verifies the message was fully consumed and returns any decode error.
 func (r *Reader) Done() error {
 	if r.err != nil {

@@ -4,6 +4,7 @@ import (
 	"crypto/hmac"
 	"crypto/rand"
 	"crypto/sha256"
+	"encoding"
 	"encoding/binary"
 	"fmt"
 	"hash"
@@ -59,6 +60,17 @@ type MACState struct {
 	pad [sha256.BlockSize]byte
 	sum [MACSize]byte
 	out [MACSize]byte
+
+	// Batch amortization (see macbatch.go): the keyed pad states for `key`,
+	// snapshotted once per SetKey and restored per message. The snapshots
+	// are immune to Sum/Verify calls in between — those rebuild their own
+	// pads — so a state can interleave scalar and keyed use freely.
+	key       SessionKey
+	keyed     bool
+	snap      bool
+	states    keyedStates
+	unmarshal encoding.BinaryUnmarshaler
+	joined    []byte
 }
 
 // Sum computes HMAC-SHA256(key, msg) into out.
