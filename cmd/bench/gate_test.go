@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, rep report) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestGateRefusesParallelOnCoreMismatch: a "parallel" entry recorded on a
+// 1-core machine measured no real contention, so a wider machine must not
+// gate against it — even when the figure would otherwise regress — while
+// serial entries keep their contract.
+func TestGateRefusesParallelOnCoreMismatch(t *testing.T) {
+	base := report{
+		Schema: schema,
+		NumCPU: 1,
+		Results: []result{
+			{Name: "ingest_parallel_w1", AllocsPerOp: 4, AllocGated: true},
+			{Name: "ingest_serial", AllocsPerOp: 4, AllocGated: true},
+		},
+	}
+	path := writeBaseline(t, base)
+
+	// The parallel entry regressed 10x, but the 8-core run must skip it.
+	cur := report{
+		Schema: schema,
+		NumCPU: 8,
+		Results: []result{
+			{Name: "ingest_parallel_w1", AllocsPerOp: 40, AllocGated: true},
+			{Name: "ingest_serial", AllocsPerOp: 4, AllocGated: true},
+		},
+	}
+	if err := gate(cur, path, false); err != nil {
+		t.Errorf("gate failed on a core-mismatched parallel entry: %v", err)
+	}
+
+	// A serial regression on the same mismatched machines still fails.
+	cur.Results[1].AllocsPerOp = 40
+	err := gate(cur, path, false)
+	if err == nil {
+		t.Fatal("gate passed a regressed serial entry")
+	}
+	if !strings.Contains(err.Error(), "ingest_serial") {
+		t.Errorf("failure does not name the serial entry: %v", err)
+	}
+	if strings.Contains(err.Error(), "ingest_parallel_w1") {
+		t.Errorf("failure names the refused parallel entry: %v", err)
+	}
+}
+
+// TestGateMatchedCoresStillGatesParallel: with equal core counts the
+// parallel contract stays enforced.
+func TestGateMatchedCoresStillGatesParallel(t *testing.T) {
+	base := report{
+		Schema: schema,
+		NumCPU: 8,
+		Results: []result{
+			{Name: "ingest_parallel_w1", AllocsPerOp: 4, AllocGated: true},
+		},
+	}
+	path := writeBaseline(t, base)
+	cur := report{
+		Schema: schema,
+		NumCPU: 8,
+		Results: []result{
+			{Name: "ingest_parallel_w1", AllocsPerOp: 40, AllocGated: true},
+		},
+	}
+	if err := gate(cur, path, false); err == nil {
+		t.Fatal("gate passed a regressed parallel entry on matched cores")
+	}
+	// A baseline recorded on MORE cores than the current run is fine to
+	// gate against (the contract only weakens in the other direction).
+	cur.NumCPU = 4
+	cur.Results[0].AllocsPerOp = 4
+	if err := gate(cur, path, false); err != nil {
+		t.Errorf("gate failed on a narrower current machine: %v", err)
+	}
+}

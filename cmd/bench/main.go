@@ -69,8 +69,11 @@ type result struct {
 }
 
 type report struct {
-	Schema     string   `json:"schema"`
-	Label      string   `json:"label"`
+	Schema string `json:"schema"`
+	Label  string `json:"label"`
+	// Note carries provenance caveats a reader of the artifact needs —
+	// e.g. that a "multicore" run was in fact recorded on one core.
+	Note       string   `json:"note,omitempty"`
 	Go         string   `json:"go"`
 	GOOS       string   `json:"goos"`
 	GOARCH     string   `json:"goarch"`
@@ -210,6 +213,12 @@ func gate(cur report, baselinePath string, filtered bool) error {
 	for _, r := range cur.Results {
 		curByName[r.Name] = r
 	}
+	// Parallel entries measure contention, and a baseline recorded on
+	// fewer cores than this run never experienced it (a 1-core "parallel"
+	// run is serial in all but name). Gating against such a baseline
+	// would compare incomparable workloads, so those entries are refused
+	// — loudly — instead of gated.
+	coreMismatch := base.NumCPU > 0 && base.NumCPU < cur.NumCPU
 	var failures []string
 	if !filtered {
 		for _, b := range base.Results {
@@ -223,6 +232,11 @@ func gate(cur report, baselinePath string, filtered bool) error {
 	}
 	for _, r := range cur.Results {
 		if !r.AllocGated {
+			continue
+		}
+		if coreMismatch && strings.Contains(r.Name, "parallel") {
+			fmt.Fprintf(os.Stderr, "bench: not gating %s: baseline recorded on %d core(s), this run has %d\n",
+				r.Name, base.NumCPU, cur.NumCPU)
 			continue
 		}
 		b, ok := baseByName[r.Name]

@@ -34,12 +34,16 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
+	"glimmers/internal/audit"
 	"glimmers/internal/botdetect"
+	"glimmers/internal/durable"
 	"glimmers/internal/gaas"
 	"glimmers/internal/glimmer"
 	"glimmers/internal/predicate"
@@ -143,6 +147,10 @@ func main() {
 		"shared budget: live rounds across all tenants")
 	ticketTTL := flag.Int64("ticket-ttl", service.DefaultTicketTTL,
 		"session-ticket lifetime in seconds (0 disables the MAC fast path)")
+	stateDir := flag.String("state-dir", "",
+		"durable state directory: recover snapshot+WAL on start, snapshot on shutdown (empty disables)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute,
+		"reap connections idle longer than this (0 disables)")
 	flag.Parse()
 
 	switch {
@@ -158,6 +166,8 @@ func main() {
 		log.Fatal("glimmerd: -service must not be empty")
 	case *ticketTTL < 0:
 		log.Fatalf("glimmerd: -ticket-ttl must be non-negative, got %d", *ticketTTL)
+	case *idleTimeout < 0:
+		log.Fatalf("glimmerd: -idle-timeout must be non-negative, got %v", *idleTimeout)
 	}
 	specs := []tenantSpec{{name: *serviceName, dim: *dim}}
 	extra, err := parseTenants(*tenants)
@@ -181,8 +191,34 @@ func main() {
 		}
 	}
 
+	// Durable state: recover before serving, snapshot after draining.
+	// Only aggregates, digests, counters, and ticket keys are persisted —
+	// never raw contributions (see README, "Durability"). Recovery and
+	// snapshot events go to <state-dir>/audit.log.
+	var store *durable.Store
+	if *stateDir != "" {
+		store, err = durable.Open(*stateDir)
+		if err != nil {
+			log.Fatalf("state dir: %v", err)
+		}
+		auditFile, err := os.OpenFile(filepath.Join(*stateDir, "audit.log"),
+			os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("audit log: %v", err)
+		}
+		defer auditFile.Close()
+		store.SetAudit(audit.NewLog(auditFile, nil))
+		stats, err := store.Recover(registry)
+		if err != nil {
+			log.Fatalf("recover: %v", err)
+		}
+		fmt.Printf("glimmerd: recovered state dir %s: snapshot=%v generation=%d wal_records=%d truncated=%dB replay_errors=%d\n",
+			*stateDir, stats.SnapshotLoaded, stats.Generation, stats.Records, stats.TruncatedBytes, stats.ReplayErrors)
+	}
+
 	server := gaas.NewTenantServer(platform, registry)
 	server.SetIngest(registry)
+	server.SetIdleTimeout(*idleTimeout)
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -214,6 +250,17 @@ func main() {
 	}
 	server.Shutdown() // waits for every connection handler to settle
 	reportTenants(registry)
+	if store != nil {
+		// Ingest is quiesced (listener closed, handlers drained, rounds
+		// sealed by the report), so the image is consistent by contract.
+		if err := store.Snapshot(registry); err != nil {
+			log.Fatalf("snapshot: %v", err)
+		}
+		if err := store.Close(); err != nil {
+			log.Fatalf("state close: %v", err)
+		}
+		fmt.Printf("glimmerd: state snapshotted to %s\n", *stateDir)
+	}
 }
 
 // reportTenants seals every live round and prints each tenant's final

@@ -1,0 +1,318 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"glimmers/internal/audit"
+	"glimmers/internal/fixed"
+	"glimmers/internal/service"
+	"glimmers/internal/wire"
+)
+
+// Store owns one state directory:
+//
+//	snapshot   — the latest full registry image (written atomically via
+//	             rename), embedding the WAL generation that follows it
+//	wal.<gen>  — the mutations since that snapshot
+//
+// Recover loads snapshot + WAL into a registry and attaches the store as
+// the registry's journal; Snapshot rotates: new image, new WAL
+// generation, old generation deleted. Store implements service.Journal —
+// every mutation the service layer reports becomes one appended record.
+//
+// Concurrency: the journal side is safe for concurrent use (one mutex
+// serializes appends). Recover and Snapshot require quiesced ingest —
+// a mutation concurrent with the export would land in both the snapshot
+// and the next WAL generation and double-apply on the next recovery.
+// glimmerd snapshots after draining its listener; the sim between waves.
+type Store struct {
+	dir string
+
+	mu  sync.Mutex
+	f   *os.File
+	gen uint64
+	enc *wire.Writer
+	buf []byte // frame scratch
+	err error  // first append failure; surfaced on Snapshot/Close
+
+	auditLog *audit.Log
+}
+
+// RecoverStats describes what a recovery found.
+type RecoverStats struct {
+	SnapshotLoaded bool
+	Generation     uint64
+	Records        int   // intact WAL records replayed
+	TruncatedBytes int64 // torn tail removed, 0 for a clean file
+	ReplayErrors   int   // records naming state the registry no longer has
+}
+
+// Open creates or opens a state directory. No files are read until
+// Recover.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	return &Store{dir: dir, gen: 1, enc: wire.NewWriter()}, nil
+}
+
+// SetAudit routes recovery and snapshot events to an audit log. Set
+// before Recover.
+func (s *Store) SetAudit(l *audit.Log) { s.auditLog = l }
+
+func (s *Store) audit(event, format string, args ...any) {
+	if s.auditLog != nil {
+		s.auditLog.Append(event, format, args...)
+	}
+}
+
+func (s *Store) snapshotPath() string { return filepath.Join(s.dir, "snapshot") }
+func (s *Store) walPath(gen uint64) string {
+	return filepath.Join(s.dir, "wal."+strconv.FormatUint(gen, 10))
+}
+
+// Recover loads the snapshot (if any) and replays the WAL into reg,
+// truncates any torn tail, opens the WAL for appending, and attaches the
+// store as reg's journal. The registry must already hold its tenants
+// (same configs as when the state was exported) and must not yet be
+// serving traffic.
+func (s *Store) Recover(reg *service.Registry) (RecoverStats, error) {
+	var stats RecoverStats
+
+	if data, err := os.ReadFile(s.snapshotPath()); err == nil {
+		st, gen, err := DecodeSnapshot(data)
+		if err != nil {
+			return stats, err
+		}
+		if err := reg.RestoreState(st); err != nil {
+			return stats, err
+		}
+		s.gen = gen
+		stats.SnapshotLoaded = true
+		s.audit("snapshot-loaded", "generation=%d tenants=%d bytes=%d", gen, len(st.Tenants), len(data))
+	} else if !os.IsNotExist(err) {
+		return stats, fmt.Errorf("durable: %w", err)
+	}
+	stats.Generation = s.gen
+
+	rj := reg.ReplayJournal(func(error) { stats.ReplayErrors++ })
+	f, err := os.OpenFile(s.walPath(s.gen), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return stats, fmt.Errorf("durable: %w", err)
+	}
+	data, err := os.ReadFile(s.walPath(s.gen))
+	if err != nil {
+		f.Close()
+		return stats, fmt.Errorf("durable: %w", err)
+	}
+	if len(data) == 0 {
+		if _, err := f.Write(walMagic); err != nil {
+			f.Close()
+			return stats, fmt.Errorf("durable: %w", err)
+		}
+	} else {
+		good, torn := walkFrames(data, func(payload []byte) error {
+			if err := applyRecord(payload, rj); err != nil {
+				return err
+			}
+			stats.Records++
+			return nil
+		})
+		if torn {
+			if good < int64(len(walMagic)) {
+				// The header itself is damaged; start the file over.
+				if err := f.Truncate(0); err != nil {
+					f.Close()
+					return stats, fmt.Errorf("durable: %w", err)
+				}
+				if _, err := f.WriteAt(walMagic, 0); err != nil {
+					f.Close()
+					return stats, fmt.Errorf("durable: %w", err)
+				}
+				good = int64(len(walMagic))
+			} else if err := f.Truncate(good); err != nil {
+				f.Close()
+				return stats, fmt.Errorf("durable: %w", err)
+			}
+			stats.TruncatedBytes = int64(len(data)) - good
+			s.audit("wal-truncated", "generation=%d offset=%d dropped=%d", s.gen, good, stats.TruncatedBytes)
+		}
+		if _, err := f.Seek(0, 2); err != nil {
+			f.Close()
+			return stats, fmt.Errorf("durable: %w", err)
+		}
+	}
+	s.audit("wal-replayed", "generation=%d records=%d replay_errors=%d", s.gen, stats.Records, stats.ReplayErrors)
+
+	s.mu.Lock()
+	s.f = f
+	s.mu.Unlock()
+	s.removeOldGenerations()
+	reg.SetJournal(s)
+	return stats, nil
+}
+
+// Snapshot writes a fresh registry image and rotates the WAL. Requires
+// quiesced ingest (see the type comment). Any append error since the
+// last snapshot surfaces here.
+func (s *Store) Snapshot(reg *service.Registry) error {
+	// Export outside s.mu: the export takes service locks, and journal
+	// appends (which hold s.mu) happen under some of them.
+	st := reg.ExportState()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	next := s.gen + 1
+	data := EncodeSnapshot(st, next)
+
+	tmp := s.snapshotPath() + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if _, err := tf.Write(data); err == nil {
+		err = tf.Sync()
+	}
+	if cerr := tf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: %w", err)
+	}
+	if err := os.Rename(tmp, s.snapshotPath()); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: %w", err)
+	}
+
+	nf, err := os.OpenFile(s.walPath(next), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if _, err := nf.Write(walMagic); err != nil {
+		nf.Close()
+		return fmt.Errorf("durable: %w", err)
+	}
+	if s.f != nil {
+		s.f.Close()
+	}
+	s.f = nf
+	prev := s.gen
+	s.gen = next
+	os.Remove(s.walPath(prev))
+	s.audit("snapshot-taken", "generation=%d tenants=%d bytes=%d", next, len(st.Tenants), len(data))
+	return nil
+}
+
+// removeOldGenerations deletes wal files older than the current
+// generation — leftovers from a crash between snapshot rename and
+// old-WAL removal.
+func (s *Store) removeOldGenerations() {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal.") {
+			continue
+		}
+		gen, err := strconv.ParseUint(name[len("wal."):], 10, 64)
+		if err == nil && gen < s.gen {
+			os.Remove(filepath.Join(s.dir, name))
+		}
+	}
+}
+
+// Err reports the first append failure, if any.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close syncs and closes the WAL. The store must not be attached as a
+// journal of a registry still serving traffic.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return s.err
+	}
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	if s.err == nil && err != nil {
+		s.err = fmt.Errorf("durable: %w", err)
+	}
+	return s.err
+}
+
+// append frames and writes one record under s.mu. Failures are sticky
+// and surfaced on Snapshot/Close — the serving path must not start
+// returning errors to clients because the disk filled.
+func (s *Store) append(build func(w *wire.Writer)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil || s.err != nil {
+		return
+	}
+	s.enc.Reset()
+	build(s.enc)
+	s.buf = appendFrame(s.buf[:0], s.enc.Finish())
+	if _, err := s.f.Write(s.buf); err != nil {
+		s.err = fmt.Errorf("durable: WAL append: %w", err)
+	}
+}
+
+// Store implements service.Journal: one appended record per mutation.
+
+func (s *Store) RoundCreated(tenant string, round uint64) {
+	s.append(func(w *wire.Writer) { encodeRound(w, recRoundCreated, tenant, round) })
+}
+
+func (s *Store) RoundSealed(tenant string, round uint64) {
+	s.append(func(w *wire.Writer) { encodeRound(w, recRoundSealed, tenant, round) })
+}
+
+func (s *Store) RoundClosed(tenant string, round uint64) {
+	s.append(func(w *wire.Writer) { encodeRound(w, recRoundClosed, tenant, round) })
+}
+
+func (s *Store) RoundForgotten(tenant string, round uint64) {
+	s.append(func(w *wire.Writer) { encodeRound(w, recRoundForgotten, tenant, round) })
+}
+
+func (s *Store) Accepted(tenant string, round uint64, digest [32]byte, blinded fixed.Vector) {
+	s.append(func(w *wire.Writer) { encodeAccepted(w, tenant, round, [][32]byte{digest}, blinded) })
+}
+
+func (s *Store) BatchAccepted(tenant string, round uint64, digests [][32]byte, delta fixed.Vector) {
+	s.append(func(w *wire.Writer) { encodeAccepted(w, tenant, round, digests, delta) })
+}
+
+func (s *Store) DropoutCorrected(tenant string, round uint64, mask fixed.Vector) {
+	s.append(func(w *wire.Writer) { encodeDropout(w, tenant, round, mask) })
+}
+
+func (s *Store) Rejected(tenant string, round uint64, level service.RejectLevel, n int) {
+	s.append(func(w *wire.Writer) { encodeRejected(w, tenant, round, level, n) })
+}
+
+func (s *Store) TicketGranted(tenant string, tk service.TicketState) {
+	s.append(func(w *wire.Writer) { encodeTicketGranted(w, tenant, tk) })
+}
+
+func (s *Store) TicketEvicted(tenant string, id uint64) {
+	s.append(func(w *wire.Writer) { encodeTicketEvicted(w, tenant, id) })
+}

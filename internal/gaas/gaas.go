@@ -19,6 +19,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"glimmers/internal/attest"
 	"glimmers/internal/fixed"
@@ -208,6 +209,13 @@ type Server struct {
 	// they travel outside the per-user attested session.
 	ingest Ingestor
 
+	// idleTimeout bounds how long a connection may sit between frames.
+	// Zero means no deadline — tests drive connections lock-step and a
+	// wall-clock limit would only make them flaky. glimmerd sets it, so a
+	// stalled or vanished client cannot pin a session enclave (and its
+	// platform slot) forever.
+	idleTimeout time.Duration
+
 	// Connection tracking for graceful shutdown.
 	connMu  sync.Mutex
 	conns   map[net.Conn]bool
@@ -230,6 +238,12 @@ func NewTenantServer(platform *tee.Platform, resolve HostResolver) *Server {
 // SetIngest enables the submit-batch command, forwarding batches to ing.
 // Must be called before Serve.
 func (s *Server) SetIngest(ing Ingestor) { s.ingest = ing }
+
+// SetIdleTimeout reaps connections that send no frame for d: the read
+// deadline expires, the handler exits, and the session enclave is
+// destroyed. Zero (the default) disables the deadline. Must be called
+// before Serve.
+func (s *Server) SetIdleTimeout(d time.Duration) { s.idleTimeout = d }
 
 // Measurement returns the measurement clients of a single-tenant host must
 // pin (the resolver's default tenant). Multi-tenant deployments publish
@@ -347,6 +361,11 @@ func (s *Server) handleConn(conn net.Conn) {
 	var readBuf []byte
 	var batchScratch [][]byte
 	for {
+		if s.idleTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.idleTimeout)); err != nil {
+				return
+			}
+		}
 		cmd, body, buf, err := readFrameInto(conn, readBuf)
 		readBuf = buf
 		if err != nil {

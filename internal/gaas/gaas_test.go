@@ -3,7 +3,9 @@ package gaas
 import (
 	"errors"
 	"net"
+	"sync"
 	"testing"
+	"time"
 
 	"glimmers/internal/fixed"
 	"glimmers/internal/glimmer"
@@ -448,4 +450,84 @@ outer:
 		return true
 	}
 	return false
+}
+
+// TestIdleClientReaped: a client that handshakes and then goes silent must
+// not pin its session enclave forever. With an idle timeout set, the read
+// deadline expires, the handler exits, and the enclave is destroyed.
+func TestIdleClientReaped(t *testing.T) {
+	as, err := tee.NewAttestationService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := tee.NewPlatform(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := service.New("iot.example", as.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SetPredicate(predicate.UnitRangeCheck("range", dim)); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := svc.GlimmerConfig(dim, glimmer.ModeNone, glimmer.DefaultPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Vet(glimmer.BuildBinary(cfg).Measurement())
+
+	var mu sync.Mutex
+	var session *glimmer.Device
+	server := NewServer(platform, cfg, func(dev *glimmer.Device) error {
+		mu.Lock()
+		session = dev
+		mu.Unlock()
+		payload, err := svc.BasePayload()
+		if err != nil {
+			return err
+		}
+		return svc.Provision(dev, payload)
+	})
+	server.SetIdleTimeout(50 * time.Millisecond)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() { _ = server.Serve(ln) }()
+
+	v := &tee.QuoteVerifier{Root: as.Root()}
+	v.Allow(server.Measurement())
+	client, err := Dial(ln.Addr().String(), v, svc.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	mu.Lock()
+	dev := session
+	mu.Unlock()
+	if dev == nil {
+		t.Fatal("handshake did not provision a session enclave")
+	}
+
+	// Stall: send nothing. The server must reap the connection and
+	// destroy the enclave on its own.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := dev.Hello(); errors.Is(err, tee.ErrDestroyed) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session enclave still alive after idle timeout")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The stalled connection is gone server-side: the next frame write
+	// or read fails rather than hanging.
+	if _, err := client.Contribute(1, fixed.FromFloats([]float64{0.1, 0.2, 0.3}), nil); err == nil {
+		t.Fatal("contribution on a reaped connection unexpectedly succeeded")
+	}
 }

@@ -270,6 +270,7 @@ func (p *Pipeline) processBatch(raws [][]byte, errs []error) {
 			counts[it.shard]++
 		}
 	}
+	dups := 0
 	for s := range starts {
 		lo := starts[s]
 		hi := counts[s] // cursor ended at the segment's end
@@ -283,6 +284,7 @@ func (p *Pipeline) processBatch(raws [][]byte, errs []error) {
 			if sh.seen[it.digest] {
 				errs[it.idx] = ErrDuplicate
 				p.rejected.Add(1)
+				dups++
 				continue
 			}
 			sh.seen[it.digest] = true
@@ -290,5 +292,27 @@ func (p *Pipeline) processBatch(raws [][]byte, errs []error) {
 			sh.count++
 		}
 		sh.mu.Unlock()
+	}
+
+	// One watermark record for the whole frame, journaled outside every
+	// shard lock while the arena's views are still alive. The allocations
+	// here are fine: they happen only when a journal is attached.
+	if j := p.journal; j != nil {
+		accepted := live - dups
+		if accepted > 0 {
+			digests := make([][32]byte, 0, accepted)
+			delta := fixed.NewVector(p.cfg.Dim)
+			for i := range a.items {
+				it := &a.items[i]
+				if it.ok && errs[it.idx] == nil {
+					digests = append(digests, it.digest)
+					fixed.AccumulateWireInto(delta, it.view.LaneBytes)
+				}
+			}
+			j.BatchAccepted(p.cfg.ServiceName, p.cfg.Round, digests, delta)
+		}
+		if dups > 0 {
+			j.Rejected(p.cfg.ServiceName, p.cfg.Round, LevelRound, dups)
+		}
 	}
 }

@@ -118,6 +118,11 @@ type Pipeline struct {
 
 	rejected atomic.Int64
 
+	// journal, when non-nil, receives every durable mutation (see
+	// state.go). Set before the pipeline serves traffic: it is read
+	// without synchronization on the hot path.
+	journal Journal
+
 	// The worker pool starts lazily on the first AddBatch, so a Pipeline
 	// used only through the synchronous Add (e.g. via Aggregator) costs no
 	// goroutines.
@@ -246,9 +251,15 @@ func (p *Pipeline) enter(n int) error {
 	switch p.state {
 	case roundSealed:
 		p.rejected.Add(int64(n))
+		if j := p.journal; j != nil {
+			j.Rejected(p.cfg.ServiceName, p.cfg.Round, LevelRound, n)
+		}
 		return ErrRoundSealed
 	case roundClosed:
 		p.rejected.Add(int64(n))
+		if j := p.journal; j != nil {
+			j.Rejected(p.cfg.ServiceName, p.cfg.Round, LevelRound, n)
+		}
 		return ErrRoundClosed
 	}
 	p.pending.Add(n)
@@ -417,11 +428,20 @@ func (p *Pipeline) process(raw []byte) error {
 	sh.sum.AddInPlace(blinded)
 	sh.count++
 	sh.mu.Unlock()
+	// Journal outside the shard lock. blinded aliases pooled scratch,
+	// which is safe: the journal encodes synchronously and the scratch is
+	// not pooled until this function returns.
+	if j := p.journal; j != nil {
+		j.Accepted(p.cfg.ServiceName, p.cfg.Round, digest, blinded)
+	}
 	return nil
 }
 
 func (p *Pipeline) reject(err error) error {
 	p.rejected.Add(1)
+	if j := p.journal; j != nil {
+		j.Rejected(p.cfg.ServiceName, p.cfg.Round, LevelRound, 1)
+	}
 	return err
 }
 
@@ -434,10 +454,19 @@ func (p *Pipeline) Seal() error {
 		p.stateMu.Unlock()
 		return ErrRoundClosed
 	}
+	transitioned := p.state == roundOpen
 	p.state = roundSealed
 	p.stateMu.Unlock()
 	p.pending.Wait()
 	p.mergeOnce.Do(p.merge)
+	// Journaled after the drain: every accepted contribution of the round
+	// has written its record by the time the seal record lands, so replay
+	// seals exactly the cohort that was sealed live.
+	if transitioned {
+		if j := p.journal; j != nil {
+			j.RoundSealed(p.cfg.ServiceName, p.cfg.Round)
+		}
+	}
 	return nil
 }
 
@@ -469,6 +498,9 @@ func (p *Pipeline) Close() {
 	if p.poolStarted.Load() {
 		close(p.jobs)
 		p.workerWG.Wait()
+	}
+	if j := p.journal; j != nil {
+		j.RoundClosed(p.cfg.ServiceName, p.cfg.Round)
 	}
 }
 
@@ -549,11 +581,17 @@ func (p *Pipeline) CorrectDropout(recoveredMask fixed.Vector) error {
 		p.pending.Wait()
 		p.mergeOnce.Do(p.merge)
 		p.final.AddInPlace(recoveredMask)
+		if j := p.journal; j != nil {
+			j.DropoutCorrected(p.cfg.ServiceName, p.cfg.Round, recoveredMask)
+		}
 		return nil
 	}
 	sh := p.shards[0]
 	sh.mu.Lock()
 	sh.sum.AddInPlace(recoveredMask)
 	sh.mu.Unlock()
+	if j := p.journal; j != nil {
+		j.DropoutCorrected(p.cfg.ServiceName, p.cfg.Round, recoveredMask)
+	}
 	return nil
 }

@@ -233,6 +233,10 @@ type Registry struct {
 	// unknown tenants. Refusals inside a tenant are counted by that
 	// tenant's manager and pipelines.
 	rejected atomic.Int64
+
+	// journal, when non-nil, receives durable mutations (see state.go).
+	// Set via SetJournal before the registry serves traffic.
+	journal Journal
 }
 
 // NewRegistry creates a registry whose tenants share a budget of at most
@@ -311,6 +315,9 @@ func (r *Registry) Rejected() int { return int(r.rejected.Load()) }
 
 func (r *Registry) refuse(err error) error {
 	r.rejected.Add(1)
+	if j := r.journal; j != nil {
+		j.Rejected("", 0, LevelRegistry, 1)
+	}
 	return err
 }
 

@@ -81,6 +81,10 @@ type RoundManager struct {
 	// round admission); refusals on an existing round are counted by that
 	// round's Pipeline.Rejected.
 	rejected atomic.Int64
+
+	// journal, when non-nil, receives durable mutations (see state.go).
+	// Set via Registry.SetJournal before the manager serves traffic.
+	journal Journal
 }
 
 // NewRoundManager creates a manager that spawns pipelines from cfg
@@ -111,6 +115,9 @@ func (m *RoundManager) Rejected() int { return int(m.rejected.Load()) }
 // refuse records a manager-level rejection.
 func (m *RoundManager) refuse(err error) error {
 	m.rejected.Add(1)
+	if j := m.journal; j != nil {
+		j.Rejected(m.cfg.ServiceName, 0, LevelManager, 1)
+	}
 	return err
 }
 
@@ -143,10 +150,14 @@ func (m *RoundManager) roundLocked(round uint64) *Pipeline {
 	cfg := m.cfg
 	cfg.Round = round
 	p := NewPipeline(cfg)
+	p.journal = m.journal
 	for meas := range m.vetted {
 		p.Vet(meas)
 	}
 	m.rounds[round] = p
+	if j := m.journal; j != nil {
+		j.RoundCreated(m.cfg.ServiceName, round)
+	}
 	return p
 }
 
@@ -340,6 +351,12 @@ func (m *RoundManager) evictLeastFilledLocked() (*Pipeline, bool) {
 	}
 	p := m.rounds[victim]
 	delete(m.rounds, victim)
+	if j := m.journal; j != nil {
+		// The victim's own journal stays attached, so its Close (run by
+		// the caller outside m.mu) still appends a RoundClosed record —
+		// replay drops it, since this record already removed the round.
+		j.RoundForgotten(m.cfg.ServiceName, victim)
+	}
 	return p, true
 }
 
@@ -402,6 +419,9 @@ func (m *RoundManager) Forget(round uint64) {
 	delete(m.rounds, round)
 	m.mu.Unlock()
 	if ok {
+		if j := m.journal; j != nil {
+			j.RoundForgotten(m.cfg.ServiceName, round)
+		}
 		if m.budget != nil {
 			m.budget.noteRemoved(m, 1)
 		}

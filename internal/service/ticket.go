@@ -75,6 +75,12 @@ func (c TicketConfig) withDefaults() TicketConfig {
 	if c.MaxWindow == 0 {
 		c.MaxWindow = DefaultMaxTicketWindow
 	}
+	// Cache the clock at construction: the expiry check runs on the
+	// ingest hot path, and resolving the nil-vs-injected choice there
+	// cost a branch per check.
+	if c.Now == nil {
+		c.Now = func() int64 { return time.Now().Unix() }
+	}
 	return c
 }
 
@@ -93,6 +99,11 @@ type TicketTable struct {
 
 	mu      sync.RWMutex
 	entries map[uint64]ticketEntry
+
+	// tenant/journal route grant and evict events to the durable journal
+	// (see state.go); set via Registry.SetJournal before traffic.
+	tenant  string
+	journal Journal
 }
 
 // NewTicketTable creates a table under the given policy.
@@ -100,12 +111,10 @@ func NewTicketTable(cfg TicketConfig) *TicketTable {
 	return &TicketTable{cfg: cfg.withDefaults(), entries: make(map[uint64]ticketEntry)}
 }
 
-func (t *TicketTable) now() int64 {
-	if t.cfg.Now != nil {
-		return t.cfg.Now()
-	}
-	return time.Now().Unix()
-}
+// now reads the clock. withDefaults installed a concrete func either way,
+// so the expiry check on the ingest hot path pays one indirect call, not
+// a nil test plus time.Now's interface machinery.
+func (t *TicketTable) now() int64 { return t.cfg.Now() }
 
 // Len reports the live ticket count.
 func (t *TicketTable) Len() int {
@@ -118,20 +127,44 @@ func (t *TicketTable) Len() int {
 // established out of band (and the benchmarks' way to fill a table without
 // the DH exchange). Grant is the protocol path.
 func (t *TicketTable) Install(id uint64, key xcrypto.SessionKey, roundFirst, roundLast uint64, expiresUnix int64) {
+	e := ticketEntry{key: key, roundFirst: roundFirst, roundLast: roundLast, expiresUnix: expiresUnix}
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.insertLocked(id, ticketEntry{key: key, roundFirst: roundFirst, roundLast: roundLast, expiresUnix: expiresUnix})
+	evicted := t.insertLocked(id, e)
+	j, tenant := t.journal, t.tenant
+	t.mu.Unlock()
+	t.journalInsert(j, tenant, evicted, id, e)
+}
+
+// journalInsert appends the evict and grant records of one insert,
+// outside the table lock.
+func (t *TicketTable) journalInsert(j Journal, tenant string, evicted []uint64, id uint64, e ticketEntry) {
+	if j == nil {
+		return
+	}
+	for _, v := range evicted {
+		j.TicketEvicted(tenant, v)
+	}
+	j.TicketGranted(tenant, TicketState{
+		ID: id, Key: e.key,
+		RoundFirst: e.roundFirst, RoundLast: e.roundLast,
+		ExpiresUnix: e.expiresUnix,
+	})
 }
 
 // insertLocked adds an entry, enforcing the bound: expired tickets are
 // dropped first, then the soonest-expiring live ticket is evicted (lowest
-// ID on ties, so eviction is deterministic).
-func (t *TicketTable) insertLocked(id uint64, e ticketEntry) {
+// ID on ties, so eviction is deterministic). It returns the removed IDs
+// so the caller can journal them — replay re-applies recorded removals
+// instead of re-running this policy, which keeps replay clock-independent.
+func (t *TicketTable) insertLocked(id uint64, e ticketEntry) (evicted []uint64) {
 	if len(t.entries) >= t.cfg.MaxTickets {
 		now := t.now()
 		for k, v := range t.entries {
 			if now > v.expiresUnix {
 				delete(t.entries, k)
+				if t.journal != nil {
+					evicted = append(evicted, k)
+				}
 			}
 		}
 	}
@@ -145,8 +178,12 @@ func (t *TicketTable) insertLocked(id uint64, e ticketEntry) {
 			}
 		}
 		delete(t.entries, victim)
+		if t.journal != nil {
+			evicted = append(evicted, victim)
+		}
 	}
 	t.entries[id] = e
+	return evicted
 }
 
 // check is the ingest hot path: resolve the ticket and enforce expiry and
@@ -206,14 +243,17 @@ func (t *TicketTable) Grant(serviceName string, verify *xcrypto.VerifyKey,
 		return nil, err
 	}
 	expires := t.now() + t.cfg.TTL
-	t.mu.Lock()
-	t.insertLocked(id, ticketEntry{
+	e := ticketEntry{
 		key:         xcrypto.DeriveTicketKey(shared, serviceName, id),
 		roundFirst:  first,
 		roundLast:   last,
 		expiresUnix: expires,
-	})
+	}
+	t.mu.Lock()
+	evicted := t.insertLocked(id, e)
+	j, tenant := t.journal, t.tenant
 	t.mu.Unlock()
+	t.journalInsert(j, tenant, evicted, id, e)
 	return wire.EncodeTicketGrant(wire.TicketGrant{
 		Service:     serviceName,
 		ID:          id,

@@ -560,3 +560,22 @@ func TestTicketedIngestAllocFree(t *testing.T) {
 		t.Fatalf("count = %d, want %d", p.Count(), i+1)
 	}
 }
+
+// TestTicketCheckAllocFree pins the table lookup alone: with the default
+// wall clock (withDefaults caches a concrete func at construction — the
+// nil-vs-injected choice must not be resolved per check), check performs
+// zero allocations.
+func TestTicketCheckAllocFree(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation accounting differs under the race detector")
+	}
+	tbl := NewTicketTable(TicketConfig{}) // nil Now: the cached time.Now path
+	tbl.Install(42, xcrypto.SessionKey{1, 2, 3}, 1, 16, 1<<62)
+	if got := testing.AllocsPerRun(1000, func() {
+		if _, err := tbl.check(42, 7); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 0 {
+		t.Errorf("ticket check: %.1f allocs/op, want 0", got)
+	}
+}

@@ -1,0 +1,454 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"glimmers/internal/blind"
+	"glimmers/internal/durable"
+	"glimmers/internal/fixed"
+	"glimmers/internal/glimmer"
+	"glimmers/internal/predicate"
+	"glimmers/internal/service"
+	"glimmers/internal/tee"
+)
+
+// Crash-recovery scenario: a ticketed deployment is killed mid-round and
+// restarted from its state directory. The fleet, the tenant's keys, and
+// the injected clock live outside the crashed process (they model the
+// remote clients and the operator's config, which a server crash does not
+// erase); everything the registry held — the sealed round, the half-built
+// round, the dedup digests, the session-ticket table — must come back
+// from snapshot + WAL.
+//
+// The scenario demands the three durability guarantees the store
+// advertises:
+//
+//   - exact sums: the restarted round seals to the exact sum of every
+//     honest contribution, pre- and post-crash (the full cohort's dealer
+//     masks cancel only if no accepted contribution was lost or doubled);
+//   - exact accounting: duplicates of pre-crash contributions are still
+//     refused (the dedup digests survived) and every refusal lands in the
+//     same counters a crash-free run would show;
+//   - no thundering herd: pre-crash session tickets still verify, so the
+//     fleet finishes the round on its MAC fast path without a single
+//     re-run of the grant exchange.
+type CrashConfig struct {
+	Seed    int64
+	Devices int // full cohort; half contribute before the crash
+	Dim     int
+}
+
+func (c CrashConfig) withDefaults() CrashConfig {
+	if c.Devices <= 0 {
+		c.Devices = 6
+	}
+	if c.Dim <= 0 {
+		c.Dim = 4
+	}
+	return c
+}
+
+// CrashReport is the observable outcome of one kill-and-restart run.
+type CrashReport struct {
+	// RecoverCold is the first life's recovery (an empty state dir).
+	RecoverCold durable.RecoverStats
+	// RecoverCrash is the restart's recovery: snapshot + WAL replay +
+	// torn-tail truncation.
+	RecoverCrash durable.RecoverStats
+
+	Round1Exact bool // sealed before the crash, restored from the snapshot
+	Round2Exact bool // split across the crash, sealed after recovery
+
+	PreCrashAccepted int // round-2 contributions the first life accepted
+	FinalCount       int // round-2 cohort after the second life seals
+	TicketsRestored  int // live tickets in the restarted table
+
+	// Violations lists every invariant break; empty means the scenario
+	// held end to end.
+	Violations []string
+}
+
+func (r *CrashReport) violate(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+const crashServiceName = "crash.example"
+
+// crashWorld is the state that survives the kill: the hardware and
+// attestation substrate, the tenant's service (its keys and predicate —
+// the operator's config), the provisioned fleet, and the injected clock.
+type crashWorld struct {
+	cfg      CrashConfig
+	as       *tee.AttestationService
+	platform *tee.Platform
+	svc      *service.Service
+	hostCfg  glimmer.Config
+	devices  []*glimmer.Device
+	clock    *atomic.Int64
+
+	// values[r][i] is device i's honest contribution to round r; the
+	// exact expected sum is their per-round total (masks cancel over the
+	// full cohort).
+	values map[uint64][]fixed.Vector
+}
+
+func newCrashWorld(cfg CrashConfig) (*crashWorld, error) {
+	as, err := tee.NewAttestationService()
+	if err != nil {
+		return nil, fmt.Errorf("sim: attestation service: %w", err)
+	}
+	platform, err := tee.NewPlatform(as)
+	if err != nil {
+		return nil, fmt.Errorf("sim: platform: %w", err)
+	}
+	svc, err := service.New(crashServiceName, as.Root())
+	if err != nil {
+		return nil, fmt.Errorf("sim: service: %w", err)
+	}
+	if err := svc.SetPredicate(predicate.UnitRangeCheck("unit-range", cfg.Dim)); err != nil {
+		return nil, fmt.Errorf("sim: predicate: %w", err)
+	}
+	hostCfg, err := svc.GlimmerConfig(cfg.Dim, glimmer.ModeNone, glimmer.DefaultPolicy)
+	if err != nil {
+		return nil, err
+	}
+	w := &crashWorld{
+		cfg:      cfg,
+		as:       as,
+		platform: platform,
+		svc:      svc,
+		hostCfg:  hostCfg,
+		clock:    new(atomic.Int64),
+		values:   make(map[uint64][]fixed.Vector),
+	}
+	w.clock.Store(simTicketEpoch)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	masks := make(map[uint64][]fixed.Vector, 2)
+	for _, round := range []uint64{1, 2} {
+		seed := fmt.Appendf(nil, "sim/%s/%d/masks/%d", crashServiceName, cfg.Seed, round)
+		ms, err := blind.ZeroSumMasks(seed, cfg.Devices, cfg.Dim)
+		if err != nil {
+			return nil, fmt.Errorf("sim: dealer masks for round %d: %w", round, err)
+		}
+		masks[round] = ms
+		vals := make([]fixed.Vector, cfg.Devices)
+		for i := range vals {
+			vals[i] = fixed.NewVector(cfg.Dim)
+			for j := range vals[i] {
+				vals[i][j] = fixed.FromFloat(rng.Float64())
+			}
+		}
+		w.values[round] = vals
+	}
+
+	glimCfg, err := svc.GlimmerConfig(cfg.Dim, glimmer.ModeDealer, glimmer.DefaultPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("sim: glimmer config: %w", err)
+	}
+	w.devices = make([]*glimmer.Device, cfg.Devices)
+	for i := range w.devices {
+		dev, err := glimmer.NewDevice(platform, glimCfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: device %d: %w", i, err)
+		}
+		svc.Vet(dev.Measurement())
+		payload, err := svc.BasePayload()
+		if err != nil {
+			return nil, err
+		}
+		payload.Masks = make(map[uint64][]uint64, len(masks))
+		for round, ms := range masks {
+			payload.Masks[round] = glimmer.VectorToBits(ms[i])
+		}
+		if err := svc.Provision(dev, payload); err != nil {
+			return nil, fmt.Errorf("sim: provisioning device %d: %w", i, err)
+		}
+		w.devices[i] = dev
+	}
+	return w, nil
+}
+
+func (w *crashWorld) shutdown() {
+	for _, dev := range w.devices {
+		if dev != nil {
+			dev.Destroy()
+		}
+	}
+}
+
+// buildRegistry assembles one server life: what glimmerd reconstructs
+// from its config file on every start, before recovering durable state.
+func (w *crashWorld) buildRegistry() (*service.Registry, *service.RoundManager, error) {
+	reg := service.NewRegistry(8)
+	tenant, err := reg.AddTenant(service.TenantConfig{
+		Name:   crashServiceName,
+		Verify: w.svc.ContributionVerifyKey(),
+		Dim:    w.cfg.Dim,
+		TicketPolicy: &service.TicketConfig{
+			MaxTickets: 2*w.cfg.Devices + 16,
+			TTL:        simTicketTTL,
+			MaxWindow:  64,
+			Now:        w.clock.Load,
+		},
+		Workers:        2,
+		Shards:         2,
+		ExpectedCohort: w.cfg.Devices + 2,
+		MaxRounds:      8,
+		RoundWindow:    4,
+		Glimmer:        w.hostCfg,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("sim: tenant: %w", err)
+	}
+	manager := tenant.Manager()
+	for _, dev := range w.devices {
+		manager.Vet(dev.Measurement())
+	}
+	return reg, manager, nil
+}
+
+func (w *crashWorld) contribute(dev *glimmer.Device, round uint64, value fixed.Vector) ([]byte, error) {
+	tc, err := dev.ContributeTicketed(round, value, nil)
+	if err != nil {
+		return nil, err
+	}
+	return glimmer.EncodeTicketedContribution(tc), nil
+}
+
+func (w *crashWorld) expectedSum(round uint64) fixed.Vector {
+	sum := fixed.NewVector(w.cfg.Dim)
+	for _, v := range w.values[round] {
+		sum.AddInPlace(v)
+	}
+	return sum
+}
+
+// RunCrashRecovery drives the scenario against stateDir (which must be
+// empty — use a fresh temp dir). Setup failures return an error;
+// invariant breaks are booked in the report's Violations.
+func RunCrashRecovery(stateDir string, cfg CrashConfig) (*CrashReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &CrashReport{}
+	w, err := newCrashWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer w.shutdown()
+	half := cfg.Devices / 2
+
+	// ----- First life: grant tickets, seal round 1, snapshot, start
+	// round 2, die mid-round.
+	regA, managerA, err := w.buildRegistry()
+	if err != nil {
+		return nil, err
+	}
+	storeA, err := durable.Open(stateDir)
+	if err != nil {
+		return nil, err
+	}
+	rep.RecoverCold, err = storeA.Recover(regA)
+	if err != nil {
+		return nil, fmt.Errorf("sim: cold recovery: %w", err)
+	}
+	if rep.RecoverCold.SnapshotLoaded || rep.RecoverCold.Records != 0 {
+		rep.violate("cold start found state in a fresh dir: %+v", rep.RecoverCold)
+	}
+
+	// The grant exchange — the session's one asymmetric operation —
+	// happens exactly once, here. The restarted life must never see it
+	// again.
+	for i, dev := range w.devices {
+		req, err := dev.TicketRequest(1, 4)
+		if err != nil {
+			return nil, fmt.Errorf("sim: device %d ticket request: %w", i, err)
+		}
+		grant, err := regA.GrantTicket(req)
+		if err != nil {
+			return nil, fmt.Errorf("sim: device %d ticket grant: %w", i, err)
+		}
+		if err := dev.InstallTicket(grant); err != nil {
+			return nil, fmt.Errorf("sim: device %d ticket install: %w", i, err)
+		}
+	}
+
+	// Round 1: full cohort, sealed before the crash.
+	for i, dev := range w.devices {
+		raw, err := w.contribute(dev, 1, w.values[1][i])
+		if err != nil {
+			return nil, fmt.Errorf("sim: round 1 device %d: %w", i, err)
+		}
+		if err := regA.Ingest(raw); err != nil {
+			rep.violate("round 1 device %d refused: %v", i, err)
+		}
+	}
+	if err := managerA.Seal(1); err != nil {
+		return nil, fmt.Errorf("sim: seal round 1: %w", err)
+	}
+	if p, ok := managerA.Lookup(1); ok {
+		rep.Round1Exact = vectorsEqual(p.Sum(), w.expectedSum(1))
+	} else {
+		rep.violate("round 1 vanished before the crash")
+	}
+	if err := storeA.Snapshot(regA); err != nil {
+		return nil, fmt.Errorf("sim: snapshot: %w", err)
+	}
+
+	// Round 2: the first half of the cohort contributes, then the
+	// process dies — no seal, no clean close.
+	preCrashRaws := make([][]byte, 0, half)
+	for i := 0; i < half; i++ {
+		raw, err := w.contribute(w.devices[i], 2, w.values[2][i])
+		if err != nil {
+			return nil, fmt.Errorf("sim: round 2 device %d: %w", i, err)
+		}
+		if err := regA.Ingest(raw); err != nil {
+			rep.violate("round 2 device %d refused pre-crash: %v", i, err)
+		}
+		preCrashRaws = append(preCrashRaws, raw)
+	}
+	rep.PreCrashAccepted = half
+	if err := storeA.Err(); err != nil {
+		return nil, fmt.Errorf("sim: WAL append: %w", err)
+	}
+	// Kill: regA and storeA are simply abandoned (the OS would reclaim
+	// the fd). The dying process's last write is torn mid-frame.
+	if err := tearWALTail(stateDir); err != nil {
+		return nil, err
+	}
+
+	// ----- Second life: rebuild from config, recover from disk.
+	regB, managerB, err := w.buildRegistry()
+	if err != nil {
+		return nil, err
+	}
+	storeB, err := durable.Open(stateDir)
+	if err != nil {
+		return nil, err
+	}
+	defer storeB.Close()
+	rep.RecoverCrash, err = storeB.Recover(regB)
+	if err != nil {
+		return nil, fmt.Errorf("sim: crash recovery: %w", err)
+	}
+	if !rep.RecoverCrash.SnapshotLoaded {
+		rep.violate("restart did not load the snapshot")
+	}
+	if rep.RecoverCrash.TruncatedBytes == 0 {
+		rep.violate("restart did not truncate the torn WAL tail")
+	}
+	if rep.RecoverCrash.ReplayErrors != 0 {
+		rep.violate("replay reported %d errors", rep.RecoverCrash.ReplayErrors)
+	}
+
+	// Round 1 came back sealed with its exact sum.
+	if p, ok := managerB.Lookup(1); !ok {
+		rep.violate("restored registry lost sealed round 1")
+	} else if !vectorsEqual(p.Sum(), w.expectedSum(1)) {
+		rep.Round1Exact = false
+		rep.violate("restored round 1 sum differs from the pre-crash seal")
+	}
+
+	// Round 2 came back mid-flight with exactly the pre-crash cohort.
+	p2, ok := managerB.Lookup(2)
+	if !ok {
+		rep.violate("restored registry lost in-flight round 2")
+		return rep, nil
+	}
+	if got := p2.Count(); got != half {
+		rep.violate("restored round 2 count = %d, want %d", got, half)
+	}
+
+	// Exact accounting: a duplicate of a pre-crash contribution is still
+	// a duplicate — the dedup digests survived the crash.
+	if err := regB.Ingest(preCrashRaws[0]); err != service.ErrDuplicate {
+		rep.violate("pre-crash duplicate returned %v, want ErrDuplicate", err)
+	}
+	// A forged MAC is still refused: the restored ticket keys are the
+	// real ones. (Submitted before the genuine copy so the dedup table
+	// cannot mask a MAC bypass.)
+	probe, err := w.contribute(w.devices[half], 2, w.values[2][half])
+	if err != nil {
+		return nil, fmt.Errorf("sim: round 2 device %d: %w", half, err)
+	}
+	forged := append([]byte(nil), probe...)
+	forged[len(forged)-1] ^= 0x01
+	if err := regB.Ingest(forged); err != service.ErrBadMAC {
+		rep.violate("forged MAC post-restart returned %v, want ErrBadMAC", err)
+	}
+
+	// No thundering herd: the rest of the fleet finishes round 2 on its
+	// pre-crash tickets — pure MAC fast path, zero grant exchanges.
+	if err := regB.Ingest(probe); err != nil {
+		rep.violate("round 2 device %d refused post-restart: %v", half, err)
+	}
+	for i := half + 1; i < cfg.Devices; i++ {
+		raw, err := w.contribute(w.devices[i], 2, w.values[2][i])
+		if err != nil {
+			return nil, fmt.Errorf("sim: round 2 device %d: %w", i, err)
+		}
+		if err := regB.Ingest(raw); err != nil {
+			rep.violate("round 2 device %d refused post-restart: %v", i, err)
+		}
+	}
+	if err := managerB.Seal(2); err != nil {
+		return nil, fmt.Errorf("sim: seal round 2: %w", err)
+	}
+	rep.FinalCount = p2.Count()
+	rep.Round2Exact = vectorsEqual(p2.Sum(), w.expectedSum(2))
+	if !rep.Round2Exact {
+		rep.violate("round 2 aggregate differs from the exact sum of the split cohort")
+	}
+	if rep.FinalCount != cfg.Devices {
+		rep.violate("round 2 cohort = %d, want %d", rep.FinalCount, cfg.Devices)
+	}
+	// The two refusals above are the only ones either life saw.
+	if got := p2.Rejected(); got != 2 {
+		rep.violate("round 2 rejected = %d, want 2 (duplicate + forged MAC)", got)
+	}
+	if got := managerB.Rejected(); got != 0 {
+		rep.violate("manager rejected = %d, want 0", got)
+	}
+	if got := regB.Rejected(); got != 0 {
+		rep.violate("registry rejected = %d, want 0", got)
+	}
+
+	// The ticket table survived in full.
+	st := regB.ExportState()
+	for _, tn := range st.Tenants {
+		if tn.Name == crashServiceName {
+			rep.TicketsRestored = len(tn.Tickets)
+		}
+	}
+	if rep.TicketsRestored != cfg.Devices {
+		rep.violate("restored tickets = %d, want %d", rep.TicketsRestored, cfg.Devices)
+	}
+	return rep, nil
+}
+
+// tearWALTail appends a partial frame to the live WAL — the dying
+// process's final, unfinished write.
+func tearWALTail(stateDir string) error {
+	entries, err := os.ReadDir(stateDir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if len(e.Name()) > 4 && e.Name()[:4] == "wal." {
+			f, err := os.OpenFile(filepath.Join(stateDir, e.Name()), os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return err
+			}
+			_, werr := f.Write([]byte{0x00, 0x00, 0x01, 0x00, 0xDE, 0xAD, 0xBE})
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			return werr
+		}
+	}
+	return fmt.Errorf("sim: no WAL file in %s", stateDir)
+}
