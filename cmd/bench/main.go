@@ -33,6 +33,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -93,13 +94,18 @@ type sizes struct {
 	dedupPool   int // distinct contributions for the decode+dedup bench
 	simRounds   int
 	simDevices  int
+	edgeConns   int // concurrent TLS connections for the edge ingest bench
+	edgeBatches int // batches each edge connection submits
+	edgeItems   int // items per edge batch
 }
 
 func sizesFor(mode string) sizes {
 	if mode == "short" {
-		return sizes{dim: 64, cohort: 64, batchRounds: 8, batchItems: 32, dedupPool: 2048, simRounds: 2, simDevices: 6}
+		return sizes{dim: 64, cohort: 64, batchRounds: 8, batchItems: 32, dedupPool: 2048, simRounds: 2, simDevices: 6,
+			edgeConns: 128, edgeBatches: 2, edgeItems: 16}
 	}
-	return sizes{dim: 256, cohort: 512, batchRounds: 16, batchItems: 128, dedupPool: 8192, simRounds: 8, simDevices: 8}
+	return sizes{dim: 256, cohort: 512, batchRounds: 16, batchItems: 128, dedupPool: 8192, simRounds: 8, simDevices: 8,
+		edgeConns: 1024, edgeBatches: 4, edgeItems: 16}
 }
 
 func main() {
@@ -703,6 +709,16 @@ func suite(sz sizes) []benchEntry {
 			return fromBench(benchSubmitTransport(sz, serviceName, key, true))
 		}},
 
+		// Not gated: TLS record-layer allocations vary with GC and buffer
+		// reuse timing, so only the sustained throughput figure is tracked.
+		// One "iteration" is one connection's worth of batches; the headline
+		// is contrib_per_sec over edgeConns concurrent TLS connections
+		// (1024 in full mode — raise edgeConns for a 10k+ run on a real
+		// runner with the fd budget to match).
+		{name: "edge_tls_ingest", run: func() result {
+			return benchEdgeTLSIngest(sz, serviceName)
+		}},
+
 		{name: "sim_round", run: func() result {
 			rep, err := sim.Scenario{
 				Name: "bench",
@@ -1062,6 +1078,120 @@ func benchSubmitTransport(sz sizes, serviceName string, key *xcrypto.SigningKey,
 		b.StopTimer()
 		b.ReportMetric(float64(b.N*sz.batchItems)/b.Elapsed().Seconds(), "contrib_per_sec")
 	})
+}
+
+// benchEdgeTLSIngest measures the hardened public edge end to end: a
+// governed TLS server (connection caps and deadlines on, exactly the
+// glimmerd -tls-self-signed assembly) sustaining batch ingest from
+// edgeConns concurrent connections. Every connection dials, completes its
+// TLS handshake, and parks before the clock starts; the timed region is
+// pure steady-state submission. Signature verification is off (nil
+// Verify) so the figure isolates the transport edge, comparable against
+// submit_batch_tcp's single-connection plaintext figure.
+func benchEdgeTLSIngest(sz sizes, serviceName string) result {
+	const dim = 64
+	conns, perConn, items := sz.edgeConns, sz.edgeBatches, sz.edgeItems
+	total := conns * perConn * items
+	raws := makeRaws(total, dim, 1, serviceName, nil)
+	mgr := service.NewRoundManager(service.PipelineConfig{
+		ServiceName:    serviceName,
+		Dim:            dim,
+		ExpectedCohort: total,
+	})
+	tlsConf, err := gaas.SelfSignedServerTLS("127.0.0.1")
+	if err != nil {
+		fatal(err)
+	}
+	server := gaas.New(gaas.ServerConfig{
+		Ingest:       mgr,
+		TLS:          tlsConf,
+		ReadTimeout:  time.Minute,
+		WriteTimeout: time.Minute,
+		IdleTimeout:  2 * time.Minute,
+		MaxConns:     conns + 8,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	defer ln.Close()
+	go func() { _ = server.Serve(ln) }()
+	defer server.Shutdown()
+	addr := ln.Addr().String()
+
+	dialCfg := gaas.DialConfig{
+		NoSession:        true,
+		TLS:              gaas.InsecureClientTLS(),
+		DialTimeout:      time.Minute,
+		HandshakeTimeout: time.Minute,
+		CallTimeout:      2 * time.Minute,
+	}
+	clients := make([]*gaas.Client, conns)
+	defer func() {
+		for _, c := range clients {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	var dialWG sync.WaitGroup
+	sem := make(chan struct{}, 64)
+	dialErr := make(chan error, conns)
+	for i := range clients {
+		dialWG.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer dialWG.Done()
+			defer func() { <-sem }()
+			c, err := gaas.DialContext(context.Background(), addr, dialCfg)
+			if err != nil {
+				dialErr <- fmt.Errorf("edge conn %d: %w", i, err)
+				return
+			}
+			clients[i] = c
+		}(i)
+	}
+	dialWG.Wait()
+	select {
+	case err := <-dialErr:
+		fatal(err)
+	default:
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, client := range clients {
+		wg.Add(1)
+		go func(i int, client *gaas.Client) {
+			defer wg.Done()
+			base := i * perConn * items
+			for b := 0; b < perConn; b++ {
+				lo := base + b*items
+				accepted, rejected, err := client.SubmitBatch(raws[lo : lo+items])
+				if err != nil {
+					fatal(fmt.Errorf("edge conn %d batch %d: %v", i, b, err))
+				}
+				if accepted != items || rejected != 0 {
+					fatal(fmt.Errorf("edge conn %d batch %d: submit = (%d, %d), want (%d, 0)",
+						i, b, accepted, rejected, items))
+				}
+			}
+		}(i, client)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if got := mgr.Round(1).Count(); got != total {
+		fatal(fmt.Errorf("edge round count = %d, want %d", got, total))
+	}
+	batches := conns * perConn
+	return result{
+		Iterations: conns,
+		NsPerOp:    float64(elapsed.Nanoseconds()) / float64(batches),
+		Metrics: map[string]float64{
+			"contrib_per_sec": float64(total) / elapsed.Seconds(),
+			"tls_conns":       float64(conns),
+		},
+	}
 }
 
 type benchWorld struct {

@@ -17,17 +17,29 @@
 // list of name:dim (range-check tenant) or name:bot (the §4.1 bot
 // detector: one-bit verdict contributions counting human sessions).
 //
+// The serving edge is governed for public exposure: TLS transport
+// (-tls-self-signed, or -tls-cert/-tls-key for a CA-issued pair),
+// connection caps (-max-conns, -max-conns-per-ip), per-connection
+// deadlines (-read-timeout, -write-timeout, -idle-timeout), and load
+// shedding for the ingest pipelines (-max-inflight-batches). Excess work
+// is refused with a typed shed error, never queued into a hang.
+// -write-known-hosts exports each tenant's measurement as a gaas
+// known-hosts pin so clients can be provisioned without the TOFU leap of
+// faith.
+//
 // On SIGINT/SIGTERM the daemon stops accepting, drains in-flight batches,
-// seals every open round, and prints per-tenant sealed sums and rejection
-// counters before exiting.
+// seals every open round, and prints per-tenant sealed sums, rejection
+// counters, and the edge governance counters before exiting.
 //
 // Usage:
 //
 //	glimmerd -listen 127.0.0.1:7433 -dim 16 -workers 8 -shards 32 \
+//	  -tls-self-signed -max-conns 4096 -max-conns-per-ip 64 \
 //	  -tenants sensors.example:8,webservice.example:bot
 package main
 
 import (
+	"crypto/tls"
 	"flag"
 	"fmt"
 	"log"
@@ -151,6 +163,22 @@ func main() {
 		"durable state directory: recover snapshot+WAL on start, snapshot on shutdown (empty disables)")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute,
 		"reap connections idle longer than this (0 disables)")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second,
+		"reap connections that take longer than this to deliver one started frame (0 disables)")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second,
+		"fail reply writes that take longer than this (0 disables)")
+	maxConns := flag.Int("max-conns", 4096,
+		"concurrently served connections; excess is refused with a shed error (0 = unlimited)")
+	maxConnsPerIP := flag.Int("max-conns-per-ip", 64,
+		"concurrently served connections per client IP (0 = unlimited)")
+	maxInflight := flag.Int("max-inflight-batches", 256,
+		"contribution batches concurrently inside the pipelines; excess is shed (0 = unlimited)")
+	tlsSelfSigned := flag.Bool("tls-self-signed", false,
+		"serve TLS with a fresh self-signed cert (transport privacy; client trust stays with attestation)")
+	tlsCert := flag.String("tls-cert", "", "serve TLS with this certificate file (requires -tls-key)")
+	tlsKey := flag.String("tls-key", "", "TLS private key file for -tls-cert")
+	writeKnownHosts := flag.String("write-known-hosts", "",
+		"write each tenant's measurement pin to this gaas known-hosts file and continue serving")
 	flag.Parse()
 
 	switch {
@@ -168,6 +196,14 @@ func main() {
 		log.Fatalf("glimmerd: -ticket-ttl must be non-negative, got %d", *ticketTTL)
 	case *idleTimeout < 0:
 		log.Fatalf("glimmerd: -idle-timeout must be non-negative, got %v", *idleTimeout)
+	case *readTimeout < 0 || *writeTimeout < 0:
+		log.Fatalf("glimmerd: timeouts must be non-negative")
+	case *maxConns < 0 || *maxConnsPerIP < 0 || *maxInflight < 0:
+		log.Fatalf("glimmerd: connection and batch caps must be non-negative")
+	case *tlsSelfSigned && (*tlsCert != "" || *tlsKey != ""):
+		log.Fatal("glimmerd: -tls-self-signed and -tls-cert/-tls-key are mutually exclusive")
+	case (*tlsCert == "") != (*tlsKey == ""):
+		log.Fatal("glimmerd: -tls-cert and -tls-key must be set together")
 	}
 	specs := []tenantSpec{{name: *serviceName, dim: *dim}}
 	extra, err := parseTenants(*tenants)
@@ -216,16 +252,53 @@ func main() {
 			*stateDir, stats.SnapshotLoaded, stats.Generation, stats.Records, stats.TruncatedBytes, stats.ReplayErrors)
 	}
 
-	server := gaas.NewTenantServer(platform, registry)
-	server.SetIngest(registry)
-	server.SetIdleTimeout(*idleTimeout)
+	// The TLS transport denies passive observers the frame plaintext; the
+	// trust decision stays with attestation (clients pin measurements, not
+	// certificates), so a self-signed cert is a legitimate deployment.
+	var tlsConf *tls.Config
+	switch {
+	case *tlsSelfSigned:
+		host := *listen
+		if h, _, err := net.SplitHostPort(*listen); err == nil && h != "" {
+			host = h
+		}
+		tlsConf, err = gaas.SelfSignedServerTLS(host)
+		if err != nil {
+			log.Fatalf("tls: %v", err)
+		}
+	case *tlsCert != "":
+		cert, err := tls.LoadX509KeyPair(*tlsCert, *tlsKey)
+		if err != nil {
+			log.Fatalf("tls: %v", err)
+		}
+		tlsConf = &tls.Config{Certificates: []tls.Certificate{cert}, MinVersion: tls.VersionTLS12}
+	}
+
+	server := gaas.New(gaas.ServerConfig{
+		Platform:           platform,
+		Hosts:              registry,
+		Ingest:             registry,
+		TLS:                tlsConf,
+		ReadTimeout:        *readTimeout,
+		WriteTimeout:       *writeTimeout,
+		IdleTimeout:        *idleTimeout,
+		MaxConns:           *maxConns,
+		MaxConnsPerIP:      *maxConnsPerIP,
+		MaxInflightBatches: *maxInflight,
+	})
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	fmt.Printf("glimmerd: serving %d tenant(s) on %s (budget %d rounds, %d verifier workers/round)\n",
-		len(specs), ln.Addr(), *maxRounds, *workers)
+	transport := "tcp"
+	if tlsConf != nil {
+		transport = "tcp+tls"
+	}
+	fmt.Printf("glimmerd: serving %d tenant(s) on %s over %s (budget %d rounds, %d verifier workers/round)\n",
+		len(specs), ln.Addr(), transport, *maxRounds, *workers)
+	fmt.Printf("glimmerd: edge limits: max-conns=%d per-ip=%d inflight-batches=%d read=%v write=%v idle=%v\n",
+		*maxConns, *maxConnsPerIP, *maxInflight, *readTimeout, *writeTimeout, *idleTimeout)
 	for _, t := range registry.Tenants() {
 		meas, err := server.MeasurementFor(t.Name())
 		if err != nil {
@@ -233,6 +306,20 @@ func main() {
 		}
 		fmt.Printf("glimmerd: tenant %-28s dim=%-4d measurement %s (clients must pin this)\n",
 			t.Name(), t.Config().Dim, meas)
+	}
+	if *writeKnownHosts != "" {
+		// Export the pins in the client's known-hosts format: devices
+		// provisioned from this file skip the TOFU leap of faith entirely.
+		known, err := gaas.LoadKnownHosts(*writeKnownHosts)
+		if err != nil {
+			log.Fatalf("known hosts: %v", err)
+		}
+		for _, t := range registry.Tenants() {
+			if err := known.Pin(t.Name(), t.Measurement()); err != nil {
+				log.Fatalf("known hosts: %v", err)
+			}
+		}
+		fmt.Printf("glimmerd: wrote %d measurement pin(s) to %s\n", known.Len(), *writeKnownHosts)
 	}
 
 	// Graceful shutdown: stop accepting, drain in-flight batches, then
@@ -249,6 +336,9 @@ func main() {
 		log.Fatalf("serve: %v", err)
 	}
 	server.Shutdown() // waits for every connection handler to settle
+	stats := server.Stats()
+	fmt.Printf("glimmerd: edge counters: refused-max-conns=%d refused-per-ip=%d shed-batches=%d\n",
+		stats.RefusedMaxConns, stats.RefusedPerIP, stats.ShedBatches)
 	reportTenants(registry)
 	if store != nil {
 		// Ingest is quiesced (listener closed, handlers drained, rounds

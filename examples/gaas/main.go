@@ -2,19 +2,23 @@
 // a Glimmer hosted on another machine.
 //
 // The host (think: a set-top box, a university server, the EFF) runs
-// glimmerd's server; the thermostat dials it, verifies the enclave quote
-// against the published measurement, and only then ships its private
-// readings for validation and endorsement. The host relays ciphertext and
-// learns nothing.
+// glimmerd's hardened serving edge: TLS transport, connection caps, and
+// per-connection deadlines around the attested session protocol. The
+// thermostat dials it with DialContext, verifies the enclave quote against
+// the attestation root, and pins the measurement trust-on-first-use in a
+// known-hosts store — a host that later swaps the enclave is refused loudly.
+// The host relays ciphertext and learns nothing.
 //
 // Run with: go run ./examples/gaas
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	"glimmers"
 	"glimmers/internal/gaas"
@@ -35,26 +39,45 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// The neutral host machine: loads and provisions a fresh Glimmer per
-	// connection.
-	server := gaas.NewServer(tb.Platform, cfg, func(dev *glimmer.Device) error {
+	// The neutral host machine: the tenant mounts on a command mux like a
+	// route, and the host is also the ingest front door — batches of signed
+	// contributions flow into the service's concurrent sharded pipeline.
+	mux := gaas.NewServeMux()
+	mux.Mount(cfg, func(dev *glimmer.Device) error {
 		payload, err := tb.Service.BasePayload()
 		if err != nil {
 			return err
 		}
 		return tb.Service.Provision(dev, payload)
 	})
-	tb.Service.Vet(server.Measurement())
-
-	// The host is also the ingest front door: batches of signed
-	// contributions flow into the service's concurrent sharded pipeline.
 	rounds := glimmers.NewRoundManager(glimmers.PipelineConfig{
 		ServiceName: tb.Service.Name(),
 		Verify:      tb.Service.ContributionVerifyKey(),
 		Dim:         dim,
 	})
+
+	// The public edge: TLS for transport privacy (trust stays with
+	// attestation, so a self-signed cert is fine), deadlines so a stalled
+	// peer cannot pin an enclave slot, and caps so a flood is shed with an
+	// error instead of queueing forever.
+	tlsConf, err := gaas.SelfSignedServerTLS("127.0.0.1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := gaas.New(gaas.ServerConfig{
+		Platform:           tb.Platform,
+		Mux:                mux,
+		Ingest:             rounds,
+		TLS:                tlsConf,
+		ReadTimeout:        5 * time.Second,
+		WriteTimeout:       5 * time.Second,
+		IdleTimeout:        time.Minute,
+		MaxConns:           256,
+		MaxConnsPerIP:      32,
+		MaxInflightBatches: 64,
+	})
+	tb.Service.Vet(server.Measurement())
 	rounds.Vet(server.Measurement())
-	server.SetIngest(rounds)
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -62,17 +85,30 @@ func main() {
 	}
 	defer ln.Close()
 	go func() { _ = server.Serve(ln) }()
-	fmt.Printf("glimmer host serving on %s (measurement %s)\n", ln.Addr(), server.Measurement())
+	fmt.Printf("glimmer host serving TLS on %s (measurement %s)\n", ln.Addr(), server.Measurement())
 
-	// The IoT device: no TEE, but it pins the published measurement.
+	// The IoT device: no TEE. The quote verifier checks the enclave is
+	// genuine; the known-hosts store pins whatever measurement the service
+	// presents on first use, so this first connection is the trust
+	// decision — every later one is held to it.
 	verifier := &glimmers.QuoteVerifier{Root: tb.AS.Root()}
-	verifier.Allow(server.Measurement())
-	client, err := gaas.Dial(ln.Addr().String(), verifier, tb.Service.Name())
+	known := gaas.NewKnownHosts() // file-backed in production: gaas.LoadKnownHosts(path)
+	dialCfg := gaas.DialConfig{
+		Service:          tb.Service.Name(),
+		Verifier:         verifier,
+		KnownHosts:       known,
+		TLS:              gaas.InsecureClientTLS(),
+		DialTimeout:      5 * time.Second,
+		HandshakeTimeout: 5 * time.Second,
+		CallTimeout:      10 * time.Second,
+	}
+	client, err := gaas.DialContext(context.Background(), ln.Addr().String(), dialCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer client.Close()
-	fmt.Println("thermostat: remote glimmer attested, session established")
+	fmt.Printf("thermostat: remote glimmer attested over TLS, measurement pinned (%s)\n",
+		client.Measurement())
 
 	readings := glimmers.FromFloats([]float64{0.42, 0.43, 0.44, 0.45, 0.44, 0.43, 0.42, 0.41})
 	sc, err := client.Contribute(1, readings, nil)
@@ -96,4 +132,15 @@ func main() {
 	bogus := glimmers.FromFloats([]float64{900, 0.4, 0.4, 0.4, 0.4, 0.4, 0.4, 0.4})
 	_, err = client.Contribute(2, bogus, nil)
 	fmt.Printf("thermostat: bogus reading rejected remotely = %v\n", errors.Is(err, gaas.ErrRejected))
+
+	// The TOFU pin doing its job: a device whose store pins a different
+	// measurement for this service refuses the (genuine!) enclave before
+	// any private data moves.
+	stale := gaas.NewKnownHosts()
+	_ = stale.Pin(tb.Service.Name(), glimmers.Measurement{0xBB})
+	staleCfg := dialCfg
+	staleCfg.KnownHosts = stale
+	_, err = gaas.DialContext(context.Background(), ln.Addr().String(), staleCfg)
+	fmt.Printf("thermostat with stale pin: refused swapped measurement = %v\n",
+		errors.Is(err, gaas.ErrMeasurementMismatch))
 }

@@ -2,7 +2,6 @@ package gaas
 
 import (
 	"bytes"
-	"fmt"
 	"net"
 	"runtime"
 	"sync"
@@ -34,47 +33,18 @@ func (ti *tallyIngestor) IngestBatch(raws [][]byte) (int, []error) {
 	return len(raws), make([]error, len(raws))
 }
 
-// frameWorld wires a raw client connection to a server whose ingest is a
-// tallyIngestor — the framing layer in isolation, no enclave setup.
+// frameWorld wires a raw client connection to a server whose only route
+// is submit-batch into a tallyIngestor — the framing layer in isolation,
+// no enclave setup. It exercises the real handleConn loop, so the pooled
+// read/reply hot path under test is exactly the production one.
 func frameWorld(t *testing.T) (*Client, *tallyIngestor) {
 	t.Helper()
 	ing := &tallyIngestor{}
-	srv := &Server{ingest: ing}
+	srv := New(ServerConfig{Ingest: ing})
 	cliConn, srvConn := net.Pipe()
-	go srv.handleConnFrames(srvConn)
+	go srv.handleConn(srvConn)
 	t.Cleanup(func() { cliConn.Close(); srvConn.Close() })
 	return &Client{conn: cliConn}, ing
-}
-
-// handleConnFrames serves only submit-batch frames, bypassing enclave
-// provisioning — the framing and pooling hot path under test.
-func (s *Server) handleConnFrames(conn net.Conn) {
-	defer conn.Close()
-	var readBuf []byte
-	var batchScratch [][]byte
-	for {
-		cmd, body, buf, err := readFrameInto(conn, readBuf)
-		readBuf = buf
-		if err != nil {
-			return
-		}
-		var out []byte
-		switch string(cmd) {
-		case cmdSubmitBatch:
-			out, batchScratch, err = s.handleSubmitBatch(body, batchScratch)
-		default:
-			err = fmt.Errorf("unknown command %q", cmd)
-		}
-		if err != nil {
-			if werr := writeFrame(conn, "error", []byte(err.Error())); werr != nil {
-				return
-			}
-			continue
-		}
-		if werr := writeFrame(conn, "ok", out); werr != nil {
-			return
-		}
-	}
 }
 
 // TestSubmitBatchEncodesOnce pins the satellite fix: submitting a batch
@@ -156,13 +126,13 @@ func TestConcurrentSubmitBatchPooledFrames(t *testing.T) {
 		items     = 32
 	)
 	ing := &tallyIngestor{}
-	srv := &Server{ingest: ing}
+	srv := New(ServerConfig{Ingest: ing})
 	var wg sync.WaitGroup
 	wantSum := uint64(0)
 	var sumMu sync.Mutex
 	for c := 0; c < clients; c++ {
 		cliConn, srvConn := net.Pipe()
-		go srv.handleConnFrames(srvConn)
+		go srv.handleConn(srvConn)
 		client := &Client{conn: cliConn}
 		wg.Add(1)
 		go func(c int) {

@@ -10,21 +10,22 @@
 // measurement, binds a session to it, and only then transmits the
 // contribution and private validation data. The hosting party relays opaque
 // ciphertext; it sees neither inputs nor verdicts.
+//
+// The serving side is shaped like net/http: commands are routes on a
+// ServeMux (see Handler), tenants mount like handlers, and a Server built
+// from a ServerConfig owns the transport — TLS, per-connection deadlines,
+// connection caps, and load shedding. The client side mirrors it with
+// DialContext, per-call timeouts, and a TOFU known-hosts store pinning
+// service names to enclave measurements.
 package gaas
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
-	"net"
 	"sync"
-	"time"
 
-	"glimmers/internal/attest"
-	"glimmers/internal/fixed"
 	"glimmers/internal/glimmer"
-	"glimmers/internal/tee"
 	"glimmers/internal/wire"
 )
 
@@ -93,20 +94,29 @@ func writeFrame(w io.Writer, tag string, body []byte) error {
 	return nil
 }
 
-// readFrameInto reads one frame into buf, growing it only when the frame
-// exceeds its capacity, and returns the tag and body as views into it plus
-// the (possibly grown) buffer for the next call. The views are valid until
-// buf's next reuse — per-connection loops own their buffer, so a frame's
-// views live exactly until the next frame is read.
-func readFrameInto(r io.Reader, buf []byte) (tag, body, next []byte, err error) {
+// readFrameLen reads and validates one frame's length prefix. It is split
+// from readFramePayload so the serving loop can apply two different
+// deadlines: an idle deadline while waiting for a frame to start, and a
+// read deadline once one has — a trickling sender (slowloris) cannot hold
+// a connection open by drip-feeding body bytes under the idle limit.
+func readFrameLen(r io.Reader) (uint32, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return nil, nil, buf, err
+		return 0, err
 	}
 	n := binary.BigEndian.Uint32(lenBuf[:])
 	if n > MaxFrame {
-		return nil, nil, buf, fmt.Errorf("gaas: frame of %d bytes exceeds limit", n)
+		return 0, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
+	return n, nil
+}
+
+// readFramePayload reads an n-byte frame payload into buf, growing it only
+// when the frame exceeds its capacity, and returns the tag and body as
+// views into it plus the (possibly grown) buffer for the next call. The
+// views are valid until buf's next reuse — per-connection loops own their
+// buffer, so a frame's views live exactly until the next frame is read.
+func readFramePayload(r io.Reader, n uint32, buf []byte) (tag, body, next []byte, err error) {
 	// Shrink before growing past need: one giant frame must not pin a
 	// MaxFrame-sized buffer for the connection's lifetime once traffic
 	// returns to normal (the same discipline maxPooledFrame applies to the
@@ -130,6 +140,17 @@ func readFrameInto(r io.Reader, buf []byte) (tag, body, next []byte, err error) 
 		return nil, nil, buf, fmt.Errorf("gaas: frame payload: %w", err)
 	}
 	return tag, body, buf, nil
+}
+
+// readFrameInto reads one complete frame into buf — the single-deadline
+// composition of readFrameLen and readFramePayload, for callers that do
+// not distinguish idle from mid-frame time.
+func readFrameInto(r io.Reader, buf []byte) (tag, body, next []byte, err error) {
+	n, err := readFrameLen(r)
+	if err != nil {
+		return nil, nil, buf, err
+	}
+	return readFramePayload(r, n, buf)
 }
 
 // readFrame reads one frame into fresh memory; callers that retain the
@@ -161,7 +182,7 @@ type Ingestor interface {
 // TicketGranter runs the service side of the attested-session-ticket
 // exchange: one signed request in, one grant out (see
 // service.RoundManager.GrantTicket). service.Registry satisfies it with
-// per-tenant routing. A server whose Ingestor also implements TicketGranter
+// per-tenant routing. A mux whose Ingestor also implements TicketGranter
 // serves the ticket-grant command; ticket renewal is simply another grant
 // (clients re-run the exchange when ingest starts refusing with the
 // ticket-expired error), and an expired or unknown ticket never grants
@@ -172,152 +193,11 @@ type TicketGranter interface {
 
 // HostResolver maps the service name a client's hello carries to the
 // enclave that tenant's user sessions run in. service.Registry satisfies
-// it; single-tenant servers use a fixed resolver. The empty name is the
+// it; single-tenant servers use ServeMux.Mount. The empty name is the
 // legacy hello: resolvers should map it to their sole tenant when that is
 // unambiguous.
 type HostResolver interface {
 	ResolveHost(service string) (glimmer.Config, func(*glimmer.Device) error, error)
-}
-
-// fixedHost is the single-tenant resolver: one config, one provisioner.
-// It accepts the empty (legacy) name and its own service's name, and
-// refuses others — a client asking a single-tenant host for a different
-// service should learn so before shipping private data.
-type fixedHost struct {
-	cfg       glimmer.Config
-	provision func(*glimmer.Device) error
-}
-
-func (h fixedHost) ResolveHost(service string) (glimmer.Config, func(*glimmer.Device) error, error) {
-	if service != "" && service != h.cfg.ServiceName {
-		return glimmer.Config{}, nil, fmt.Errorf("gaas: host does not serve %q", service)
-	}
-	return h.cfg, h.provision, nil
-}
-
-// Server hosts Glimmer enclaves for remote clients: one freshly loaded,
-// freshly provisioned enclave per user session, so client sessions cannot
-// interfere. A multi-tenant server (NewTenantServer) loads each session's
-// enclave from the tenant the client names in its hello.
-type Server struct {
-	platform *tee.Platform
-	resolve  HostResolver
-	// ingest, when non-nil, accepts submit-batch frames: signed, blinded
-	// contributions forwarded straight to the service's aggregation
-	// pipeline so clients need one round trip for a whole cohort. The
-	// contributions are public by construction (signed and blinded), so
-	// they travel outside the per-user attested session.
-	ingest Ingestor
-
-	// idleTimeout bounds how long a connection may sit between frames.
-	// Zero means no deadline — tests drive connections lock-step and a
-	// wall-clock limit would only make them flaky. glimmerd sets it, so a
-	// stalled or vanished client cannot pin a session enclave (and its
-	// platform slot) forever.
-	idleTimeout time.Duration
-
-	// Connection tracking for graceful shutdown.
-	connMu  sync.Mutex
-	conns   map[net.Conn]bool
-	closing bool
-	connWG  sync.WaitGroup
-}
-
-// NewServer creates a single-tenant Glimmer host.
-func NewServer(platform *tee.Platform, cfg glimmer.Config, provision func(*glimmer.Device) error) *Server {
-	return NewTenantServer(platform, fixedHost{cfg: cfg, provision: provision})
-}
-
-// NewTenantServer creates a Glimmer host serving every tenant the resolver
-// knows: the client names its service in the hello, and the session's
-// enclave is loaded from that tenant's configuration.
-func NewTenantServer(platform *tee.Platform, resolve HostResolver) *Server {
-	return &Server{platform: platform, resolve: resolve, conns: make(map[net.Conn]bool)}
-}
-
-// SetIngest enables the submit-batch command, forwarding batches to ing.
-// Must be called before Serve.
-func (s *Server) SetIngest(ing Ingestor) { s.ingest = ing }
-
-// SetIdleTimeout reaps connections that send no frame for d: the read
-// deadline expires, the handler exits, and the session enclave is
-// destroyed. Zero (the default) disables the deadline. Must be called
-// before Serve.
-func (s *Server) SetIdleTimeout(d time.Duration) { s.idleTimeout = d }
-
-// Measurement returns the measurement clients of a single-tenant host must
-// pin (the resolver's default tenant). Multi-tenant deployments publish
-// one measurement per tenant via MeasurementFor.
-func (s *Server) Measurement() tee.Measurement {
-	m, err := s.MeasurementFor("")
-	if err != nil {
-		return tee.Measurement{}
-	}
-	return m
-}
-
-// MeasurementFor returns the measurement clients of the named tenant must
-// pin.
-func (s *Server) MeasurementFor(service string) (tee.Measurement, error) {
-	cfg, _, err := s.resolve.ResolveHost(service)
-	if err != nil {
-		return tee.Measurement{}, err
-	}
-	return glimmer.BuildBinary(cfg).Measurement(), nil
-}
-
-// Serve accepts connections until the listener closes.
-func (s *Server) Serve(ln net.Listener) error {
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
-				return nil
-			}
-			return fmt.Errorf("gaas: accept: %w", err)
-		}
-		if !s.track(conn) {
-			conn.Close()
-			return nil
-		}
-		go func() {
-			defer s.untrack(conn)
-			s.handleConn(conn)
-		}()
-	}
-}
-
-func (s *Server) track(conn net.Conn) bool {
-	s.connMu.Lock()
-	defer s.connMu.Unlock()
-	if s.closing {
-		return false
-	}
-	s.conns[conn] = true
-	s.connWG.Add(1)
-	return true
-}
-
-func (s *Server) untrack(conn net.Conn) {
-	s.connMu.Lock()
-	delete(s.conns, conn)
-	s.connMu.Unlock()
-	s.connWG.Done()
-}
-
-// Shutdown stops the server gracefully: the caller closes the listener
-// (ending Serve), Shutdown closes every live connection and waits for the
-// handlers to drain. A handler blocked inside IngestBatch finishes that
-// batch — the contributions land in their pipelines — before its reply
-// write fails and the handler exits, so no in-flight batch is lost.
-func (s *Server) Shutdown() {
-	s.connMu.Lock()
-	s.closing = true
-	for conn := range s.conns {
-		conn.Close()
-	}
-	s.connMu.Unlock()
-	s.connWG.Wait()
 }
 
 // helloService decodes the service name a user-hello body carries. An
@@ -341,323 +221,3 @@ func helloService(body []byte) (string, error) {
 func EncodeHelloBody(service string) []byte {
 	return wire.NewWriter().String(service).Finish()
 }
-
-func (s *Server) handleConn(conn net.Conn) {
-	defer conn.Close()
-	// The session enclave is loaded lazily, on the first user-hello, from
-	// the tenant the hello names; a later hello on the same connection
-	// replaces the session (and its enclave) wholesale.
-	var dev *glimmer.Device
-	defer func() {
-		if dev != nil {
-			dev.Destroy()
-		}
-	}()
-	// The connection loop owns one frame buffer and one batch-header
-	// scratch: frames are read into the buffer in place, command bodies are
-	// views into it, and both live exactly until the next frame. Handlers
-	// must not retain the body (the enclave boundary copies its inputs;
-	// Ingestor documents the same rule).
-	var readBuf []byte
-	var batchScratch [][]byte
-	for {
-		if s.idleTimeout > 0 {
-			if err := conn.SetReadDeadline(time.Now().Add(s.idleTimeout)); err != nil {
-				return
-			}
-		}
-		cmd, body, buf, err := readFrameInto(conn, readBuf)
-		readBuf = buf
-		if err != nil {
-			return // disconnect
-		}
-		var out []byte
-		switch string(cmd) {
-		case cmdUserHello:
-			dev, out, err = s.openSession(dev, body)
-		case cmdUserComplete:
-			if dev == nil {
-				err = errNoSession
-			} else {
-				err = dev.UserComplete(body)
-			}
-		case cmdUserContribute:
-			if dev == nil {
-				err = errNoSession
-			} else {
-				out, err = dev.UserContribute(body)
-			}
-		case cmdSubmitBatch:
-			out, batchScratch, err = s.handleSubmitBatch(body, batchScratch)
-		case cmdTicketGrant:
-			out, err = s.handleTicketGrant(body)
-		default:
-			err = fmt.Errorf("unknown command %q", cmd)
-		}
-		if err != nil {
-			// Error strings cross the network; they carry no private data
-			// by construction (glimmer errors are generic).
-			if werr := writeFrame(conn, "error", []byte(err.Error())); werr != nil {
-				return
-			}
-			continue
-		}
-		if werr := writeFrame(conn, "ok", out); werr != nil {
-			return
-		}
-	}
-}
-
-var errNoSession = errors.New("gaas: no session enclave (send user-hello first)")
-
-// openSession resolves the hello's tenant, loads and provisions a fresh
-// enclave for it, and starts the user handshake. Any previous session
-// enclave on the connection is destroyed first.
-func (s *Server) openSession(prev *glimmer.Device, body []byte) (*glimmer.Device, []byte, error) {
-	service, err := helloService(body)
-	if err != nil {
-		return prev, nil, err
-	}
-	cfg, provision, err := s.resolve.ResolveHost(service)
-	if err != nil {
-		return prev, nil, err
-	}
-	dev, err := glimmer.NewDevice(s.platform, cfg)
-	if err != nil {
-		return prev, nil, err
-	}
-	if provision != nil {
-		if err := provision(dev); err != nil {
-			dev.Destroy()
-			return prev, nil, errors.New("provisioning failed")
-		}
-	}
-	out, err := dev.UserHello()
-	if err != nil {
-		dev.Destroy()
-		return prev, nil, err
-	}
-	if prev != nil {
-		prev.Destroy()
-	}
-	return dev, out, nil
-}
-
-// handleSubmitBatch decodes a batch frame without copying (the items are
-// views into the connection's frame buffer, valid for exactly as long as
-// the blocking IngestBatch call below), hands it to the ingest pipeline,
-// and encodes the accepted/rejected tallies. The item-header scratch is
-// threaded back to the caller for reuse on the next batch.
-func (s *Server) handleSubmitBatch(body []byte, scratch [][]byte) ([]byte, [][]byte, error) {
-	if s.ingest == nil {
-		return nil, scratch, errors.New("server does not accept contribution batches")
-	}
-	items, err := wire.DecodeBatchInto(body, scratch)
-	if err != nil {
-		return nil, scratch, err
-	}
-	// Per-item errors stay server-side: the reply is tallies only, so the
-	// frame stays O(1) regardless of batch size.
-	accepted, _ := s.ingest.IngestBatch(items)
-	reply := binary.BigEndian.AppendUint32(make([]byte, 0, 8), uint32(accepted))
-	reply = binary.BigEndian.AppendUint32(reply, uint32(len(items)-accepted))
-	// Drop the item views before recycling the scratch: stale headers
-	// would otherwise keep the (possibly replaced) frame buffer alive.
-	clear(items)
-	return reply, items[:0], nil
-}
-
-// handleTicketGrant forwards a signed ticket request to the ingest side's
-// granter. The request and grant are both public by construction (the
-// session key is derived, never carried), so they travel outside any
-// attested session — exactly like the signed contributions they amortize.
-func (s *Server) handleTicketGrant(body []byte) ([]byte, error) {
-	granter, ok := s.ingest.(TicketGranter)
-	if !ok {
-		return nil, errors.New("server does not grant session tickets")
-	}
-	// The body is a view into the connection's frame buffer; the granter
-	// decodes (copying) before the next frame can be read, satisfying the
-	// same must-not-retain contract as IngestBatch.
-	return granter.GrantTicket(body)
-}
-
-// Client is an IoT device using a remote Glimmer. It has no TEE of its
-// own; its trust comes entirely from quote verification.
-type Client struct {
-	conn    net.Conn
-	session *attest.Session
-}
-
-// Client errors.
-var (
-	ErrRemote   = errors.New("gaas: remote error")
-	ErrRejected = errors.New("gaas: contribution rejected by remote glimmer")
-)
-
-// Dial connects to a Glimmer host and establishes the attested user
-// session. The verifier must allowlist the expected Glimmer measurement —
-// pinning published measurements is what lets the client trust a machine it
-// does not own.
-func Dial(addr string, verifier *tee.QuoteVerifier, serviceName string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("gaas: dial: %w", err)
-	}
-	c, err := DialConn(conn, verifier, serviceName)
-	if err != nil {
-		conn.Close()
-		return nil, err
-	}
-	return c, nil
-}
-
-// DialConn establishes the attested user session over an existing
-// connection — an in-memory pipe, a unix socket, or any other transport
-// that reaches a Glimmer host. The caller retains ownership of conn when
-// the handshake fails.
-func DialConn(conn net.Conn, verifier *tee.QuoteVerifier, serviceName string) (*Client, error) {
-	c := &Client{conn: conn}
-	if err := c.handshake(verifier, serviceName); err != nil {
-		return nil, err
-	}
-	return c, nil
-}
-
-func (c *Client) roundTrip(cmd string, body []byte) ([]byte, error) {
-	if err := writeFrame(c.conn, cmd, body); err != nil {
-		return nil, err
-	}
-	return c.readReply()
-}
-
-// readReply reads one response frame and maps a non-ok status to
-// ErrRemote — the shared reply tail for roundTrip and SubmitBatch (which
-// writes its request through the pooled encode-once path instead).
-func (c *Client) readReply() ([]byte, error) {
-	status, out, err := readFrame(c.conn)
-	if err != nil {
-		return nil, err
-	}
-	if status != "ok" {
-		return nil, fmt.Errorf("%w: %s", ErrRemote, out)
-	}
-	return out, nil
-}
-
-func (c *Client) handshake(verifier *tee.QuoteVerifier, serviceName string) error {
-	// The hello names the service: a multi-tenant host loads this session's
-	// enclave from that tenant's configuration (frame-level routing).
-	helloBytes, err := c.roundTrip(cmdUserHello, EncodeHelloBody(serviceName))
-	if err != nil {
-		return err
-	}
-	hello, err := attest.DecodeHello(helloBytes)
-	if err != nil {
-		return err
-	}
-	session, resp, err := attest.Respond(hello, verifier, nil, glimmer.UserContext(serviceName))
-	if err != nil {
-		return fmt.Errorf("gaas: remote glimmer not genuine: %w", err)
-	}
-	if _, err := c.roundTrip(cmdUserComplete, attest.EncodeResponse(resp)); err != nil {
-		return err
-	}
-	c.session = session
-	return nil
-}
-
-// Contribute submits a contribution with its private validation data over
-// the attested session and returns the signed, blinded result.
-func (c *Client) Contribute(round uint64, contribution fixed.Vector, private []int64) (glimmer.SignedContribution, error) {
-	req := glimmer.ContributionRequest{
-		Round:        round,
-		Contribution: glimmer.VectorToBits(contribution),
-		Private:      glimmer.Int64sToBits(private),
-	}
-	record, err := c.session.Send(glimmer.EncodeContribution(req))
-	if err != nil {
-		return glimmer.SignedContribution{}, err
-	}
-	replyRecord, err := c.roundTrip(cmdUserContribute, record)
-	if err != nil {
-		return glimmer.SignedContribution{}, err
-	}
-	reply, err := c.session.Recv(replyRecord)
-	if err != nil {
-		return glimmer.SignedContribution{}, fmt.Errorf("gaas: reply authentication: %w", err)
-	}
-	switch {
-	case string(reply) == "rejected":
-		return glimmer.SignedContribution{}, ErrRejected
-	case len(reply) > len("accepted:") && string(reply[:len("accepted:")]) == "accepted:":
-		return glimmer.DecodeSignedContribution(reply[len("accepted:"):])
-	}
-	return glimmer.SignedContribution{}, fmt.Errorf("%w: malformed reply", ErrRemote)
-}
-
-// RequestTicket forwards an enclave's signed ticket request
-// (glimmer.Device.TicketRequest) to the host's service side and returns
-// the grant to install (glimmer.Device.InstallTicket) — one round trip,
-// one ECDSA verification server-side, and every contribution after it
-// rides the MAC fast path. Renewal is the same call again: when SubmitBatch
-// tallies start rejecting a session whose ticket has expired, re-run the
-// exchange and re-seal.
-func (c *Client) RequestTicket(request []byte) ([]byte, error) {
-	return c.roundTrip(cmdTicketGrant, request)
-}
-
-// ErrBatchTooLarge is returned by SubmitBatch when the encoded batch
-// would exceed the protocol's frame limit; split the batch and retry.
-var ErrBatchTooLarge = errors.New("gaas: batch exceeds frame limit")
-
-// SubmitBatch forwards signed contributions to the host's aggregation
-// pipeline in one round trip and returns the server's accepted/rejected
-// tallies. The host must have ingest enabled (gaas servers co-located with
-// the service, like cmd/glimmerd).
-//
-// The batch frame is encoded exactly once, directly into a pooled buffer,
-// and written in a single call. Earlier versions encoded the batch body
-// and then re-encoded it inside the frame wrapper — twice the bytes, twice
-// the copies — and paid that full cost again just to discover the frame
-// was oversized before a split-and-retry. The size check is now arithmetic
-// (wire.EncodedBatchSize), so the retryable ErrBatchTooLarge path encodes
-// nothing at all.
-func (c *Client) SubmitBatch(raws [][]byte) (accepted, rejected int, err error) {
-	// Check the protocol limits client-side: the server rejects an
-	// oversized frame by dropping the connection (losing the session with
-	// only an opaque I/O error) and an over-count batch with a generic
-	// remote error; both cases should be the distinguishable "split and
-	// retry" error.
-	if len(raws) > wire.MaxBatchItems {
-		return 0, 0, fmt.Errorf("%w: %d items", ErrBatchTooLarge, len(raws))
-	}
-	batchSize := wire.EncodedBatchSize(raws)
-	if batchSize > MaxFrame-64 {
-		return 0, 0, fmt.Errorf("%w: %d bytes", ErrBatchTooLarge, batchSize)
-	}
-	bufp := frameBufPool.Get().(*[]byte)
-	buf := appendFrameHeader((*bufp)[:0], cmdSubmitBatch, batchSize)
-	buf = wire.AppendBatch(buf, raws)
-	_, err = c.conn.Write(buf)
-	*bufp = buf[:0]
-	putFrameBuf(bufp)
-	if err != nil {
-		return 0, 0, fmt.Errorf("gaas: write frame: %w", err)
-	}
-	reply, err := c.readReply()
-	if err != nil {
-		return 0, 0, err
-	}
-	var r wire.Reader
-	r.Reset(reply)
-	accepted = int(r.Uint32())
-	rejected = int(r.Uint32())
-	if err := r.Done(); err != nil {
-		return 0, 0, fmt.Errorf("gaas: submit reply: %w", err)
-	}
-	return accepted, rejected, nil
-}
-
-// Close terminates the connection.
-func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,185 @@
+package gaas
+
+import (
+	"bufio"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"glimmers/internal/tee"
+)
+
+// KnownHosts is a trust-on-first-use store pinning service names to
+// enclave measurements, in the shape of SSH's known_hosts: the first
+// genuinely attested measurement a service presents is pinned (and
+// persisted when the store is file-backed); any later handshake whose
+// measurement differs fails with ErrMeasurementMismatch.
+//
+// TOFU narrows the trust decision, it does not remove it: the first
+// connection trusts whatever genuine enclave the host runs (see the
+// README threat model for what a first-connection adversary buys).
+// Rotation — a deliberate measurement change after a vetted re-audit —
+// is explicit: Pin the new measurement, or edit the known-hosts file.
+//
+// The file format is one pin per line, `<service> sha256:<64 hex>`;
+// blank lines and #-comments are ignored. Rewrites are atomic
+// (temp file + rename), so a crash mid-save never truncates the store.
+type KnownHosts struct {
+	mu   sync.Mutex
+	path string // "" = in-memory only
+	pins map[string]tee.Measurement
+}
+
+// NewKnownHosts returns an empty in-memory store: pins live for the
+// process only. Useful for tests and single-run tools.
+func NewKnownHosts() *KnownHosts {
+	return &KnownHosts{pins: make(map[string]tee.Measurement)}
+}
+
+// LoadKnownHosts opens a file-backed store, loading any pins already
+// recorded at path. A missing file is an empty store — it is created on
+// the first pin — so first use needs no setup.
+func LoadKnownHosts(path string) (*KnownHosts, error) {
+	k := &KnownHosts{path: path, pins: make(map[string]tee.Measurement)}
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return k, nil
+		}
+		return nil, fmt.Errorf("gaas: known hosts: %w", err)
+	}
+	defer f.Close()
+	if err := k.parse(f); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+func (k *KnownHosts) parse(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		service, meas, ok := strings.Cut(text, " ")
+		digest, found := strings.CutPrefix(strings.TrimSpace(meas), "sha256:")
+		if !ok || service == "" || !found {
+			return fmt.Errorf("gaas: known hosts line %d: malformed entry", line)
+		}
+		raw, err := hex.DecodeString(digest)
+		if err != nil || len(raw) != len(tee.Measurement{}) {
+			return fmt.Errorf("gaas: known hosts line %d: malformed measurement", line)
+		}
+		var m tee.Measurement
+		copy(m[:], raw)
+		k.pins[service] = m
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("gaas: known hosts: %w", err)
+	}
+	return nil
+}
+
+// Check enforces the TOFU policy for one handshake: an unknown service
+// pins m (persisting when file-backed); a known service must present its
+// pinned measurement or the check fails with ErrMeasurementMismatch.
+func (k *KnownHosts) Check(service string, m tee.Measurement) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	pinned, ok := k.pins[service]
+	if !ok {
+		return k.pinLocked(service, m)
+	}
+	if pinned != m {
+		return fmt.Errorf("%w: %q pinned %s, presented %s",
+			ErrMeasurementMismatch, service, measurementHex(pinned), measurementHex(m))
+	}
+	return nil
+}
+
+// Pin records (or rotates) the measurement for service unconditionally —
+// the explicit operator action after a vetted enclave update.
+func (k *KnownHosts) Pin(service string, m tee.Measurement) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.pinLocked(service, m)
+}
+
+func (k *KnownHosts) pinLocked(service string, m tee.Measurement) error {
+	old, had := k.pins[service]
+	k.pins[service] = m
+	if err := k.saveLocked(); err != nil {
+		// Keep memory and disk agreeing: a pin that failed to persist
+		// would silently downgrade to first-use on the next process.
+		if had {
+			k.pins[service] = old
+		} else {
+			delete(k.pins, service)
+		}
+		return err
+	}
+	return nil
+}
+
+// Lookup returns the pinned measurement for service, if any.
+func (k *KnownHosts) Lookup(service string) (tee.Measurement, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	m, ok := k.pins[service]
+	return m, ok
+}
+
+// Len reports how many services are pinned.
+func (k *KnownHosts) Len() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.pins)
+}
+
+// saveLocked rewrites the backing file atomically; in-memory stores skip
+// persistence.
+func (k *KnownHosts) saveLocked() error {
+	if k.path == "" {
+		return nil
+	}
+	services := make([]string, 0, len(k.pins))
+	for s := range k.pins {
+		services = append(services, s)
+	}
+	sort.Strings(services)
+	var b strings.Builder
+	for _, s := range services {
+		fmt.Fprintf(&b, "%s sha256:%s\n", s, measurementHex(k.pins[s]))
+	}
+	dir := filepath.Dir(k.path)
+	tmp, err := os.CreateTemp(dir, ".known_hosts-*")
+	if err != nil {
+		return fmt.Errorf("gaas: known hosts save: %w", err)
+	}
+	if _, err := tmp.WriteString(b.String()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("gaas: known hosts save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("gaas: known hosts save: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), k.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("gaas: known hosts save: %w", err)
+	}
+	return nil
+}
+
+func measurementHex(m tee.Measurement) string { return hex.EncodeToString(m[:]) }

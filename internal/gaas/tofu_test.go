@@ -1,0 +1,167 @@
+package gaas
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"glimmers/internal/tee"
+)
+
+func meas(b byte) tee.Measurement {
+	var m tee.Measurement
+	m[0] = b
+	m[31] = ^b
+	return m
+}
+
+func TestKnownHostsFirstUsePins(t *testing.T) {
+	k := NewKnownHosts()
+	if err := k.Check("alpha.example", meas(1)); err != nil {
+		t.Fatalf("first use: %v", err)
+	}
+	if got, ok := k.Lookup("alpha.example"); !ok || got != meas(1) {
+		t.Fatal("first use did not pin")
+	}
+	// The same measurement keeps passing.
+	if err := k.Check("alpha.example", meas(1)); err != nil {
+		t.Fatalf("repeat use: %v", err)
+	}
+	// A different service pins independently.
+	if err := k.Check("beta.example", meas(2)); err != nil {
+		t.Fatalf("second service: %v", err)
+	}
+	if k.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", k.Len())
+	}
+}
+
+func TestKnownHostsMismatchRefused(t *testing.T) {
+	k := NewKnownHosts()
+	if err := k.Check("alpha.example", meas(1)); err != nil {
+		t.Fatal(err)
+	}
+	err := k.Check("alpha.example", meas(2))
+	if !errors.Is(err, ErrMeasurementMismatch) {
+		t.Fatalf("err = %v, want ErrMeasurementMismatch", err)
+	}
+	// The refusal names both measurements so the operator can diagnose
+	// a rotation vs an attack.
+	if msg := err.Error(); !strings.Contains(msg, "alpha.example") {
+		t.Fatalf("refusal %q does not name the service", msg)
+	}
+	// The pin is untouched by the failed check.
+	if got, _ := k.Lookup("alpha.example"); got != meas(1) {
+		t.Fatal("mismatch disturbed the pin")
+	}
+}
+
+func TestKnownHostsFilePersistsAndRotates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "known_hosts")
+	k, err := LoadKnownHosts(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Check("alpha.example", meas(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Check("beta.example", meas(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process sees the pins.
+	k2, err := LoadKnownHosts(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2.Len() != 2 {
+		t.Fatalf("reloaded Len = %d, want 2", k2.Len())
+	}
+	if err := k2.Check("alpha.example", meas(9)); !errors.Is(err, ErrMeasurementMismatch) {
+		t.Fatalf("reloaded pin not enforced: %v", err)
+	}
+
+	// Rotation: the explicit Pin overwrites, persists, and re-admits.
+	if err := k2.Pin("alpha.example", meas(9)); err != nil {
+		t.Fatal(err)
+	}
+	k3, err := LoadKnownHosts(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k3.Check("alpha.example", meas(9)); err != nil {
+		t.Fatalf("rotated pin refused: %v", err)
+	}
+	if err := k3.Check("alpha.example", meas(1)); !errors.Is(err, ErrMeasurementMismatch) {
+		t.Fatal("rotation left the old measurement admissible")
+	}
+	// The other tenant's pin survived the rotation rewrite.
+	if err := k3.Check("beta.example", meas(2)); err != nil {
+		t.Fatalf("unrelated pin lost in rotation: %v", err)
+	}
+}
+
+func TestKnownHostsRotatedFileOnDisk(t *testing.T) {
+	// The operator rotation path: hand-editing the known-hosts file (the
+	// documented alternative to Pin) takes effect on the next load.
+	path := filepath.Join(t.TempDir(), "known_hosts")
+	k, err := LoadKnownHosts(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Check("alpha.example", meas(1)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotated := strings.ReplaceAll(string(data), measurementHex(meas(1)), measurementHex(meas(7)))
+	// Comments and blank lines are operator territory and must survive
+	// parsing.
+	rotated = "# rotated after the 2026-08 re-audit\n\n" + rotated
+	if err := os.WriteFile(path, []byte(rotated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	k2, err := LoadKnownHosts(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k2.Check("alpha.example", meas(7)); err != nil {
+		t.Fatalf("hand-rotated pin refused: %v", err)
+	}
+	if err := k2.Check("alpha.example", meas(1)); !errors.Is(err, ErrMeasurementMismatch) {
+		t.Fatal("pre-rotation measurement still admissible")
+	}
+}
+
+func TestKnownHostsMalformedFileRefused(t *testing.T) {
+	dir := t.TempDir()
+	for name, contents := range map[string]string{
+		"no-digest":  "alpha.example\n",
+		"bad-scheme": "alpha.example md5:abcd\n",
+		"short-hex":  "alpha.example sha256:abcd\n",
+		"not-hex":    "alpha.example sha256:" + strings.Repeat("zz", 32) + "\n",
+		"no-service": " sha256:" + strings.Repeat("ab", 32) + "\n",
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(contents), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadKnownHosts(path); err == nil {
+			t.Errorf("%s: malformed known-hosts file loaded without error", name)
+		}
+	}
+}
+
+func TestKnownHostsMissingFileIsEmpty(t *testing.T) {
+	k, err := LoadKnownHosts(filepath.Join(t.TempDir(), "absent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Len() != 0 {
+		t.Fatal("missing file loaded pins")
+	}
+}

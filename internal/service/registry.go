@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"glimmers/internal/glimmer"
+	"glimmers/internal/tee"
 	"glimmers/internal/wire"
 	"glimmers/internal/xcrypto"
 )
@@ -217,6 +218,17 @@ func (t *Tenant) Config() TenantConfig { return t.cfg }
 
 // Manager returns the tenant's round manager.
 func (t *Tenant) Manager() *RoundManager { return t.manager }
+
+// Measurement returns the enclave measurement this tenant's user sessions
+// attest — the value a deployment publishes for clients to pin (gaas
+// known-hosts files, verifier allowlists). The zero measurement means the
+// tenant is ingest-only (no Glimmer config).
+func (t *Tenant) Measurement() tee.Measurement {
+	if t.cfg.Glimmer.ServiceName == "" {
+		return tee.Measurement{}
+	}
+	return glimmer.BuildBinary(t.cfg.Glimmer).Measurement()
+}
 
 // Registry owns the tenants of a multi-tenant deployment and routes every
 // submitted contribution to its tenant's pipeline by an alloc-free header

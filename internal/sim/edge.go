@@ -1,0 +1,512 @@
+package sim
+
+import (
+	"context"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"glimmers/internal/blind"
+	"glimmers/internal/fixed"
+	"glimmers/internal/gaas"
+	"glimmers/internal/glimmer"
+	"glimmers/internal/predicate"
+	"glimmers/internal/service"
+	"glimmers/internal/tee"
+)
+
+// Malicious-edge scenario: a governed TLS front end is attacked at the
+// transport layer — the one layer the §4.2 host model says an adversary
+// fully controls — while an honest fleet tries to finish a round through
+// it. Three attacks run against one server:
+//
+//   - conn-flood: more connections than MaxConns admits. The surplus must
+//     be refused with a shed reply (not a hang), the refusals must land in
+//     the edge counters, and the already-admitted honest lanes must keep
+//     their slots.
+//   - slowloris: connections that start a frame and then trickle, trying
+//     to pin enclave slots forever. ReadTimeout must reap them while the
+//     idle-but-honest lanes survive.
+//   - swapped measurement: a second, genuinely attested edge serving the
+//     same service name from a different enclave binary. The fleet's
+//     known-hosts pin from first use must refuse it before any private
+//     data moves.
+//
+// The scenario's verdict is the paper's: none of this moves the tenant's
+// exact sum. The round seals to precisely the honest fleet's total, with
+// every adversarial action accounted for in the right counter.
+type EdgeConfig struct {
+	Seed    int64
+	Devices int
+	Dim     int
+	// Lanes is the honest fleet's connection count (default 3).
+	Lanes int
+	// FloodConns is the conn-flood size (default 8). The server's
+	// MaxConns is Lanes+SlowlorisConns, so the flood both fills the spare
+	// slots and overflows them.
+	FloodConns int
+	// SlowlorisConns is the number of trickling connections (default 3).
+	SlowlorisConns int
+}
+
+func (c EdgeConfig) withDefaults() EdgeConfig {
+	if c.Devices <= 0 {
+		c.Devices = 6
+	}
+	if c.Dim <= 0 {
+		c.Dim = 4
+	}
+	if c.Lanes <= 0 {
+		c.Lanes = 3
+	}
+	if c.FloodConns <= 0 {
+		c.FloodConns = 8
+	}
+	if c.SlowlorisConns <= 0 {
+		c.SlowlorisConns = 3
+	}
+	return c
+}
+
+// EdgeReport is the observable outcome of one malicious-edge run.
+type EdgeReport struct {
+	// PinnedOnFirstUse records that the fleet's first connection pinned
+	// the honest edge's measurement.
+	PinnedOnFirstUse bool
+	// FloodAdmitted/FloodRefused partition the flood: the spare slots
+	// admit, the overflow is refused with ErrShed.
+	FloodAdmitted int
+	FloodRefused  int
+	// SlowlorisReaped records that every trickling connection was
+	// reclaimed while the honest lanes stayed connected.
+	SlowlorisReaped bool
+	// SwappedRefused records that the genuinely attested impostor edge
+	// was refused by the known-hosts pin.
+	SwappedRefused bool
+
+	RoundExact bool // the round sealed to the honest fleet's exact sum
+	FinalCount int
+
+	// Edge is the server's final governance counters.
+	Edge gaas.EdgeStats
+
+	// Violations lists every invariant break; empty means the edge held.
+	Violations []string
+}
+
+func (r *EdgeReport) violate(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+const edgeServiceName = "edge.example"
+
+// edgeWorld is the honest side: attestation substrate, the tenant's
+// service, and a provisioned fleet with round-1 dealer masks.
+type edgeWorld struct {
+	cfg      EdgeConfig
+	as       *tee.AttestationService
+	platform *tee.Platform
+	svc      *service.Service
+	hostCfg  glimmer.Config
+	devices  []*glimmer.Device
+	values   []fixed.Vector
+}
+
+func newEdgeWorld(cfg EdgeConfig) (*edgeWorld, error) {
+	as, err := tee.NewAttestationService()
+	if err != nil {
+		return nil, fmt.Errorf("sim: attestation service: %w", err)
+	}
+	platform, err := tee.NewPlatform(as)
+	if err != nil {
+		return nil, fmt.Errorf("sim: platform: %w", err)
+	}
+	svc, err := service.New(edgeServiceName, as.Root())
+	if err != nil {
+		return nil, fmt.Errorf("sim: service: %w", err)
+	}
+	if err := svc.SetPredicate(predicate.UnitRangeCheck("unit-range", cfg.Dim)); err != nil {
+		return nil, fmt.Errorf("sim: predicate: %w", err)
+	}
+	hostCfg, err := svc.GlimmerConfig(cfg.Dim, glimmer.ModeNone, glimmer.DefaultPolicy)
+	if err != nil {
+		return nil, err
+	}
+	w := &edgeWorld{cfg: cfg, as: as, platform: platform, svc: svc, hostCfg: hostCfg}
+
+	seed := fmt.Appendf(nil, "sim/%s/%d/masks/1", edgeServiceName, cfg.Seed)
+	masks, err := blind.ZeroSumMasks(seed, cfg.Devices, cfg.Dim)
+	if err != nil {
+		return nil, fmt.Errorf("sim: dealer masks: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w.values = make([]fixed.Vector, cfg.Devices)
+	for i := range w.values {
+		w.values[i] = fixed.NewVector(cfg.Dim)
+		for j := range w.values[i] {
+			w.values[i][j] = fixed.FromFloat(rng.Float64())
+		}
+	}
+
+	glimCfg, err := svc.GlimmerConfig(cfg.Dim, glimmer.ModeDealer, glimmer.DefaultPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("sim: glimmer config: %w", err)
+	}
+	w.devices = make([]*glimmer.Device, cfg.Devices)
+	for i := range w.devices {
+		dev, err := glimmer.NewDevice(platform, glimCfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: device %d: %w", i, err)
+		}
+		svc.Vet(dev.Measurement())
+		payload, err := svc.BasePayload()
+		if err != nil {
+			return nil, err
+		}
+		payload.Masks = map[uint64][]uint64{1: glimmer.VectorToBits(masks[i])}
+		if err := svc.Provision(dev, payload); err != nil {
+			return nil, fmt.Errorf("sim: provisioning device %d: %w", i, err)
+		}
+		w.devices[i] = dev
+	}
+	return w, nil
+}
+
+func (w *edgeWorld) shutdown() {
+	for _, dev := range w.devices {
+		if dev != nil {
+			dev.Destroy()
+		}
+	}
+}
+
+func (w *edgeWorld) expectedSum() fixed.Vector {
+	sum := fixed.NewVector(w.cfg.Dim)
+	for _, v := range w.values {
+		sum.AddInPlace(v)
+	}
+	return sum
+}
+
+// edgeTenant registers the service on a fresh registry (the impostor edge
+// reuses this shape with a different enclave config).
+func edgeTenant(reg *service.Registry, svc *service.Service, dim int, hostCfg glimmer.Config) (*service.Tenant, error) {
+	return reg.AddTenant(service.TenantConfig{
+		Name:           edgeServiceName,
+		Verify:         svc.ContributionVerifyKey(),
+		Dim:            dim,
+		Workers:        2,
+		Shards:         2,
+		ExpectedCohort: 16,
+		MaxRounds:      4,
+		RoundWindow:    4,
+		Glimmer:        hostCfg,
+	})
+}
+
+// serveEdge builds a governed TLS edge over the registry and starts it on
+// a fresh loopback listener.
+func serveEdge(platform *tee.Platform, reg *service.Registry, maxConns int, readTimeout time.Duration) (*gaas.Server, net.Listener, error) {
+	tlsConf, err := gaas.SelfSignedServerTLS("127.0.0.1")
+	if err != nil {
+		return nil, nil, fmt.Errorf("sim: edge TLS: %w", err)
+	}
+	server := gaas.New(gaas.ServerConfig{
+		Platform:     platform,
+		Hosts:        reg,
+		Ingest:       reg,
+		TLS:          tlsConf,
+		ReadTimeout:  readTimeout,
+		WriteTimeout: 2 * time.Second,
+		// Generous: the honest lanes idle through the attack phases and
+		// must not be reaped. Slowloris is ReadTimeout's job — a started
+		// frame, not an idle connection.
+		IdleTimeout: 30 * time.Second,
+		MaxConns:    maxConns,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, fmt.Errorf("sim: listen: %w", err)
+	}
+	go func() { _ = server.Serve(ln) }()
+	return server, ln, nil
+}
+
+// pollActiveConns waits for the server's active-connection count to drop
+// to want.
+func pollActiveConns(server *gaas.Server, want int, deadline time.Duration) bool {
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		if server.Stats().ActiveConns == want {
+			return true
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return server.Stats().ActiveConns == want
+}
+
+// RunEdgeAdversary drives the malicious-edge scenario. Setup failures
+// return an error; invariant breaks are booked in the report's
+// Violations.
+func RunEdgeAdversary(cfg EdgeConfig) (*EdgeReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &EdgeReport{}
+	w, err := newEdgeWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer w.shutdown()
+	ctx := context.Background()
+
+	// The honest edge: capacity for the fleet's lanes plus exactly the
+	// slowloris pool, so the flood overflows and the slowloris conns all
+	// get slots to trickle in.
+	maxConns := cfg.Lanes + cfg.SlowlorisConns
+	reg := service.NewRegistry(8)
+	tenant, err := edgeTenant(reg, w.svc, cfg.Dim, w.hostCfg)
+	if err != nil {
+		return nil, fmt.Errorf("sim: tenant: %w", err)
+	}
+	manager := tenant.Manager()
+	for _, dev := range w.devices {
+		manager.Vet(dev.Measurement())
+	}
+	const readTimeout = 250 * time.Millisecond
+	server, ln, err := serveEdge(w.platform, reg, maxConns, readTimeout)
+	if err != nil {
+		return nil, err
+	}
+	defer server.Shutdown()
+	defer ln.Close()
+	addr := ln.Addr().String()
+
+	meas, err := server.MeasurementFor(edgeServiceName)
+	if err != nil {
+		return nil, fmt.Errorf("sim: edge measurement: %w", err)
+	}
+	// The fleet's verifier checks genuineness only; pinning is the
+	// known-hosts store's job, shared across the fleet like a provisioned
+	// config.
+	verifier := &tee.QuoteVerifier{Root: w.as.Root()}
+	verifier.Allow(meas)
+	known := gaas.NewKnownHosts()
+	dialCfg := gaas.DialConfig{
+		Service:          edgeServiceName,
+		Verifier:         verifier,
+		KnownHosts:       known,
+		TLS:              gaas.InsecureClientTLS(),
+		DialTimeout:      5 * time.Second,
+		HandshakeTimeout: 5 * time.Second,
+		CallTimeout:      10 * time.Second,
+	}
+
+	// ----- Honest lanes connect first (and TOFU-pin the edge).
+	clients := make([]*gaas.Client, cfg.Lanes)
+	for i := range clients {
+		c, err := gaas.DialContext(ctx, addr, dialCfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: lane %d: %w", i, err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	pinned, ok := known.Lookup(edgeServiceName)
+	rep.PinnedOnFirstUse = ok && pinned == meas && known.Len() == 1
+	if !rep.PinnedOnFirstUse {
+		rep.violate("first use did not pin the edge measurement")
+	}
+
+	// ----- Conn-flood: FloodConns sessionless connections, each pushing
+	// a garbage batch. The spare slots admit (and the garbage is refused
+	// at the registry, not the edge); the overflow is shed with a typed
+	// reply.
+	floodCfg := gaas.DialConfig{
+		NoSession:        true,
+		TLS:              gaas.InsecureClientTLS(),
+		DialTimeout:      5 * time.Second,
+		HandshakeTimeout: 5 * time.Second,
+		CallTimeout:      5 * time.Second,
+	}
+	garbage := [][]byte{[]byte("edge-flood: not a contribution")}
+	var floodClients []*gaas.Client
+	for i := 0; i < cfg.FloodConns; i++ {
+		c, err := gaas.DialContext(ctx, addr, floodCfg)
+		if err != nil {
+			rep.violate("flood conn %d failed to dial: %v", i, err)
+			continue
+		}
+		accepted, _, err := c.SubmitBatch(garbage)
+		switch {
+		case errors.Is(err, gaas.ErrShed):
+			rep.FloodRefused++
+			_ = c.Close()
+		case err == nil && accepted == 0:
+			rep.FloodAdmitted++
+			floodClients = append(floodClients, c)
+		default:
+			rep.violate("flood conn %d: accepted=%d err=%v", i, accepted, err)
+			_ = c.Close()
+		}
+	}
+	if want := maxConns - cfg.Lanes; rep.FloodAdmitted != want {
+		rep.violate("flood admitted %d conns, want %d", rep.FloodAdmitted, want)
+	}
+	if want := cfg.FloodConns - (maxConns - cfg.Lanes); rep.FloodRefused != want {
+		rep.violate("flood refused %d conns, want %d", rep.FloodRefused, want)
+	}
+	if got := server.Stats().RefusedMaxConns; got != int64(rep.FloodRefused) {
+		rep.violate("RefusedMaxConns = %d, want %d", got, rep.FloodRefused)
+	}
+	for _, c := range floodClients {
+		_ = c.Close()
+	}
+	if !pollActiveConns(server, cfg.Lanes, 5*time.Second) {
+		rep.violate("flood conns not released: %d active, want %d",
+			server.Stats().ActiveConns, cfg.Lanes)
+	}
+
+	// ----- Slowloris: start a frame on every spare slot and trickle one
+	// byte at a time. The read deadline is armed when the frame starts
+	// and is not extended by progress, so the trickle cannot help.
+	slowDone := make(chan struct{})
+	var slowConns []net.Conn
+	for i := 0; i < cfg.SlowlorisConns; i++ {
+		raw, err := net.Dial("tcp", addr)
+		if err != nil {
+			rep.violate("slowloris conn %d dial: %v", i, err)
+			continue
+		}
+		tc := tls.Client(raw, gaas.InsecureClientTLS())
+		if err := tc.Handshake(); err != nil {
+			rep.violate("slowloris conn %d handshake: %v", i, err)
+			raw.Close()
+			continue
+		}
+		slowConns = append(slowConns, tc)
+		if _, err := tc.Write([]byte{0, 0, 0, 64}); err != nil {
+			rep.violate("slowloris conn %d prefix: %v", i, err)
+			continue
+		}
+		go func(c net.Conn) {
+			for {
+				select {
+				case <-slowDone:
+					return
+				case <-time.After(50 * time.Millisecond):
+				}
+				if _, err := c.Write([]byte{0xAA}); err != nil {
+					return // reaped
+				}
+			}
+		}(tc)
+	}
+	rep.SlowlorisReaped = pollActiveConns(server, cfg.Lanes, 5*time.Second)
+	if !rep.SlowlorisReaped {
+		rep.violate("slowloris conns not reaped: %d active, want %d",
+			server.Stats().ActiveConns, cfg.Lanes)
+	}
+	close(slowDone)
+	for _, c := range slowConns {
+		_ = c.Close()
+	}
+
+	// ----- Swapped measurement: a second edge, genuinely attested on the
+	// same platform, serving the same service name from a different
+	// enclave binary. Its measurement is even on the verifier's allowlist
+	// — the host could have talked some authority into vetting it. Only
+	// the fleet's first-use pin stands between it and the session.
+	evilSvc, err := service.New(edgeServiceName, w.as.Root())
+	if err != nil {
+		return nil, fmt.Errorf("sim: impostor service: %w", err)
+	}
+	if err := evilSvc.SetPredicate(predicate.UnitRangeCheck("unit-range", cfg.Dim+1)); err != nil {
+		return nil, fmt.Errorf("sim: impostor predicate: %w", err)
+	}
+	evilHostCfg, err := evilSvc.GlimmerConfig(cfg.Dim+1, glimmer.ModeNone, glimmer.DefaultPolicy)
+	if err != nil {
+		return nil, err
+	}
+	evilReg := service.NewRegistry(8)
+	if _, err := edgeTenant(evilReg, evilSvc, cfg.Dim+1, evilHostCfg); err != nil {
+		return nil, fmt.Errorf("sim: impostor tenant: %w", err)
+	}
+	evilServer, evilLn, err := serveEdge(w.platform, evilReg, 0, readTimeout)
+	if err != nil {
+		return nil, err
+	}
+	defer evilServer.Shutdown()
+	defer evilLn.Close()
+	evilMeas, err := evilServer.MeasurementFor(edgeServiceName)
+	if err != nil {
+		return nil, fmt.Errorf("sim: impostor measurement: %w", err)
+	}
+	if evilMeas == meas {
+		rep.violate("impostor enclave measures identically; scenario degenerate")
+	}
+	verifier.Allow(evilMeas)
+	if _, err := gaas.DialContext(ctx, evilLn.Addr().String(), dialCfg); errors.Is(err, gaas.ErrMeasurementMismatch) {
+		rep.SwappedRefused = true
+	} else {
+		rep.violate("impostor edge dial returned %v, want ErrMeasurementMismatch", err)
+	}
+	if got, _ := known.Lookup(edgeServiceName); got != meas {
+		rep.violate("impostor dial disturbed the known-hosts pin")
+	}
+
+	// ----- Through all of that, the honest fleet finishes its round on
+	// the lanes it has held the whole time.
+	for i, dev := range w.devices {
+		sc, err := dev.Contribute(1, w.values[i], nil)
+		if err != nil {
+			return nil, fmt.Errorf("sim: device %d contribute: %w", i, err)
+		}
+		raw := glimmer.EncodeSignedContribution(sc)
+		accepted, _, err := clients[i%cfg.Lanes].SubmitBatch([][]byte{raw})
+		if err != nil {
+			rep.violate("device %d submit: %v", i, err)
+		} else if accepted != 1 {
+			rep.violate("device %d submit accepted %d, want 1", i, accepted)
+		}
+	}
+	if err := manager.Seal(1); err != nil {
+		return nil, fmt.Errorf("sim: seal: %w", err)
+	}
+	p, ok := manager.Lookup(1)
+	if !ok {
+		rep.violate("round 1 vanished")
+		return rep, nil
+	}
+	rep.FinalCount = p.Count()
+	rep.RoundExact = vectorsEqual(p.Sum(), w.expectedSum())
+	if !rep.RoundExact {
+		rep.violate("round 1 aggregate differs from the honest fleet's exact sum")
+	}
+	if rep.FinalCount != cfg.Devices {
+		rep.violate("round 1 cohort = %d, want %d", rep.FinalCount, cfg.Devices)
+	}
+
+	// Exact accounting: the round itself saw zero rejections (no
+	// adversarial bytes ever parsed as a contribution); the admitted
+	// flood's garbage was refused at the registry, one count per frame;
+	// the edge counters hold the flood overflow and nothing else.
+	if got := p.Rejected(); got != 0 {
+		rep.violate("round rejected = %d, want 0", got)
+	}
+	if got := manager.Rejected(); got != 0 {
+		rep.violate("manager rejected = %d, want 0", got)
+	}
+	if got := reg.Rejected(); got != rep.FloodAdmitted {
+		rep.violate("registry rejected = %d, want %d (admitted flood garbage)", got, rep.FloodAdmitted)
+	}
+	rep.Edge = server.Stats()
+	if rep.Edge.RefusedMaxConns != int64(rep.FloodRefused) {
+		rep.violate("final RefusedMaxConns = %d, want %d", rep.Edge.RefusedMaxConns, rep.FloodRefused)
+	}
+	if rep.Edge.RefusedPerIP != 0 || rep.Edge.ShedBatches != 0 {
+		rep.violate("unexpected edge refusals: %+v", rep.Edge)
+	}
+	return rep, nil
+}

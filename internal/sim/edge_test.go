@@ -1,0 +1,28 @@
+package sim
+
+import "testing"
+
+// TestSimEdgeAdversary runs the malicious-edge fault plan: conn-flood,
+// slowloris, and a swapped-measurement impostor against one governed TLS
+// edge, with an honest fleet sealing an exact round through it all.
+func TestSimEdgeAdversary(t *testing.T) {
+	rep, err := RunEdgeAdversary(EdgeConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("invariant violation: %s", v)
+	}
+	if !rep.RoundExact {
+		t.Error("round did not seal to the exact sum")
+	}
+	if rep.FloodRefused == 0 {
+		t.Error("conn-flood produced no refusals; edge limits not exercised")
+	}
+	if !rep.SlowlorisReaped {
+		t.Error("slowloris connections were not reaped")
+	}
+	if !rep.SwappedRefused {
+		t.Error("swapped-measurement edge was not refused")
+	}
+}

@@ -55,6 +55,10 @@ const (
 	// TransportTCP routes batches through gaas over loopback TCP — the
 	// cmd/glimmerd deployment.
 	TransportTCP
+	// TransportTLS routes batches through gaas over loopback TCP wrapped
+	// in TLS — the hardened public-edge deployment of cmd/glimmerd with
+	// -tls-self-signed.
+	TransportTLS
 )
 
 // String names the transport for reports.
@@ -66,6 +70,8 @@ func (t TransportKind) String() string {
 		return "pipe"
 	case TransportTCP:
 		return "tcp"
+	case TransportTLS:
+		return "tls"
 	}
 	return fmt.Sprintf("transport(%d)", int(t))
 }

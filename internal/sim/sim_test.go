@@ -137,7 +137,8 @@ func TestSimReproducibleTrace(t *testing.T) {
 
 // TestSimTransportsAgree runs the same seeded plan over every transport.
 // The transport must not change the outcome: the in-process path, the gaas
-// frame protocol over net.Pipe, and loopback TCP all yield the same trace.
+// frame protocol over net.Pipe, loopback TCP, and TLS-wrapped loopback TCP
+// all yield the same trace.
 func TestSimTransportsAgree(t *testing.T) {
 	cfg := Config{
 		Seed:    11,
@@ -155,7 +156,7 @@ func TestSimTransportsAgree(t *testing.T) {
 		},
 	}
 	traces := make(map[TransportKind]string)
-	for _, tr := range []TransportKind{TransportDirect, TransportPipe, TransportTCP} {
+	for _, tr := range []TransportKind{TransportDirect, TransportPipe, TransportTCP, TransportTLS} {
 		c := cfg
 		c.Transport = tr
 		rep, err := Scenario{Name: "transport-" + tr.String(), Config: c}.Run()
@@ -172,6 +173,9 @@ func TestSimTransportsAgree(t *testing.T) {
 	}
 	if traces[TransportTCP] != traces[TransportDirect] {
 		t.Errorf("tcp trace differs from direct:\n--- direct\n%s--- tcp\n%s", traces[TransportDirect], traces[TransportTCP])
+	}
+	if traces[TransportTLS] != traces[TransportDirect] {
+		t.Errorf("tls trace differs from direct:\n--- direct\n%s--- tls\n%s", traces[TransportDirect], traces[TransportTLS])
 	}
 	// The plan must actually exercise the lifecycle rejections whose
 	// tally-only booking this test exists to cover.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"crypto/tls"
 	"fmt"
 	"net"
 	"sync/atomic"
@@ -64,21 +65,52 @@ func newStack(transport TransportKind, roundBudget int) (*stack, error) {
 	switch transport {
 	case TransportDirect:
 		// In-process ingest; no front end.
-	case TransportPipe, TransportTCP:
-		st.server = gaas.NewTenantServer(platform, st.registry)
-		st.server.SetIngest(st.registry)
-		if transport == TransportTCP {
+	case TransportPipe, TransportTCP, TransportTLS:
+		var tlsConf *tls.Config
+		if transport == TransportTLS {
+			tc, err := gaas.SelfSignedServerTLS("127.0.0.1")
+			if err != nil {
+				return nil, fmt.Errorf("sim: edge TLS: %w", err)
+			}
+			tlsConf = tc
+		}
+		st.server = gaas.New(gaas.ServerConfig{
+			Platform: platform,
+			Hosts:    st.registry,
+			Ingest:   st.registry,
+			TLS:      tlsConf,
+		})
+		switch transport {
+		case TransportPipe:
+			ln := newMemListener()
+			st.listener = ln
+			st.dial = ln.dial
+		default: // TCP and TLS share the loopback socket
 			ln, err := net.Listen("tcp", "127.0.0.1:0")
 			if err != nil {
 				return nil, fmt.Errorf("sim: listen: %w", err)
 			}
 			st.listener = ln
 			addr := ln.Addr().String()
-			st.dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
-		} else {
-			ln := newMemListener()
-			st.listener = ln
-			st.dial = ln.dial
+			if transport == TransportTLS {
+				// Transport privacy only; endpoint trust stays with the
+				// attested handshake the pool runs over each connection.
+				clientTLS := gaas.InsecureClientTLS()
+				st.dial = func() (net.Conn, error) {
+					conn, err := net.Dial("tcp", addr)
+					if err != nil {
+						return nil, err
+					}
+					tc := tls.Client(conn, clientTLS)
+					if err := tc.Handshake(); err != nil {
+						conn.Close()
+						return nil, err
+					}
+					return tc, nil
+				}
+			} else {
+				st.dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+			}
 		}
 		go func() { _ = st.server.Serve(st.listener) }()
 	default:
@@ -320,14 +352,14 @@ func (w *world) provisionFleet() error {
 
 // openTransports builds the tenant's submission lanes into the shared
 // stack: in-process registry calls, or gaas clients (each dialing the
-// shared front end and naming this tenant in its hello) over net.Pipe or
-// loopback TCP — the cmd/glimmerd topology.
+// shared front end and naming this tenant in its hello) over net.Pipe,
+// loopback TCP, or TLS-wrapped loopback TCP — the cmd/glimmerd topology.
 func (w *world) openTransports() error {
 	switch w.cfg.Transport {
 	case TransportDirect:
 		w.pool = newDirectPool(w.stack.registry, w.cfg.Submitters)
 		return nil
-	case TransportPipe, TransportTCP:
+	case TransportPipe, TransportTCP, TransportTLS:
 		meas, err := w.stack.server.MeasurementFor(w.cfg.ServiceName)
 		if err != nil {
 			return fmt.Errorf("sim: tenant measurement: %w", err)
