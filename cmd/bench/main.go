@@ -719,6 +719,25 @@ func suite(sz sizes) []benchEntry {
 			return benchEdgeTLSIngest(sz, serviceName)
 		}},
 
+		// Fleet: one op is one round-merge at the coordinator — verify and
+		// fold three signed partial seals (each carrying a third of the
+		// cohort's dedup digests) into completion. This is the cross-node
+		// cost sharding adds per round; merge_per_sec is its headline.
+		{name: "fleet_merge", run: func() result {
+			return fromBench(benchFleetMerge(sz, serviceName, key))
+		}},
+
+		// Fleet: one op is one full round across three in-process nodes —
+		// each node ingests its third of the cohort through the ticketed
+		// batch plan on its own goroutine, seals a signed partial, and a
+		// coordinator merges the three. contrib_per_sec aggregates across
+		// the nodes; divide against ingest_ticketed_batch for the scale-out
+		// multiple (on a 1-core runner it is ≤ 1× by construction — the
+		// nodes time-slice one CPU and the merge is pure overhead).
+		{name: "fleet_ingest_3node", run: func() result {
+			return fromBench(benchFleetIngest3Node(sz, serviceName))
+		}},
+
 		{name: "sim_round", run: func() result {
 			rep, err := sim.Scenario{
 				Name: "bench",
@@ -879,6 +898,158 @@ func benchTicketedBatchIngest(sz sizes, serviceName string, workers, shards int)
 		b.StopTimer()
 		p.Close()
 		b.ReportMetric(float64(b.N*sz.batchItems)/b.Elapsed().Seconds(), "contrib_per_sec")
+	})
+}
+
+// makeFleetSeals splits one round's cohort across n node pipelines and
+// exports each node's signed partial seal — the coordinator-side inputs
+// for the fleet merge benches.
+func makeFleetSeals(sz sizes, serviceName string, key *xcrypto.SigningKey, round uint64, n int) [][]byte {
+	raws := makeRaws(sz.cohort, sz.dim, round, serviceName, key)
+	per := len(raws) / n
+	seals := make([][]byte, 0, n)
+	for node := 0; node < n; node++ {
+		p := service.NewPipeline(service.PipelineConfig{
+			ServiceName:    serviceName,
+			Verify:         key.Public(),
+			Dim:            sz.dim,
+			Round:          round,
+			ExpectedCohort: per + 1,
+		})
+		for _, raw := range raws[node*per : (node+1)*per] {
+			if err := p.Add(raw); err != nil {
+				fatal(err)
+			}
+		}
+		nodeKey, err := xcrypto.NewSigningKey()
+		if err != nil {
+			fatal(err)
+		}
+		seal, err := p.PartialSeal(service.NodeSeal{
+			NodeID:      uint32(node + 1),
+			ShardCount:  uint32(n),
+			Measurement: tee.Measurement{0xFE, byte(node + 1)},
+			Key:         nodeKey,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		p.Close()
+		seals = append(seals, seal)
+	}
+	return seals
+}
+
+// benchFleetMerge measures the coordinator's per-round cost: each op
+// starts a fresh merge and absorbs three pre-exported partial seals —
+// three ECDSA verifies, the full disjointness sweep over the cohort's
+// digests, and the wide-lane partial-sum folds.
+func benchFleetMerge(sz sizes, serviceName string, key *xcrypto.SigningKey) testing.BenchmarkResult {
+	const round, nodes = 7, 3
+	seals := makeFleetSeals(sz, serviceName, key, round, nodes)
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := service.NewMerge(service.MergeConfig{
+				ServiceName: serviceName,
+				Round:       round,
+				AllowTOFU:   true,
+			})
+			for _, seal := range seals {
+				if err := m.Absorb(seal); err != nil {
+					fatal(err)
+				}
+			}
+			if !m.Complete() {
+				fatal(fmt.Errorf("fleet merge incomplete after %d partials", len(seals)))
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "merge_per_sec")
+	})
+}
+
+// benchFleetIngest3Node runs one sharded round per op: three node
+// pipelines on their own goroutines, each ingesting its third of the
+// MAC'd cohort through the batch plan and exporting a signed partial
+// seal, then a coordinator merge folding the three. The tallied
+// contrib_per_sec is the aggregate across all nodes.
+func benchFleetIngest3Node(sz sizes, serviceName string) testing.BenchmarkResult {
+	const round, nodes = 7, 3
+	tbl := service.NewTicketTable(service.TicketConfig{})
+	raws := makeTicketedRaws(sz.cohort, sz.dim, round, serviceName, tbl)
+	per := len(raws) / nodes
+	nodeBatches := make([][][][]byte, nodes)
+	nodeKeys := make([]*xcrypto.SigningKey, nodes)
+	for n := 0; n < nodes; n++ {
+		third := raws[n*per : (n+1)*per]
+		for lo := 0; lo < len(third); lo += sz.batchItems {
+			hi := min(lo+sz.batchItems, len(third))
+			nodeBatches[n] = append(nodeBatches[n], third[lo:hi])
+		}
+		key, err := xcrypto.NewSigningKey()
+		if err != nil {
+			fatal(err)
+		}
+		nodeKeys[n] = key
+	}
+	errSlices := make([][]error, nodes)
+	for n := range errSlices {
+		errSlices[n] = make([]error, sz.batchItems)
+	}
+	seals := make([][]byte, nodes)
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for n := 0; n < nodes; n++ {
+				wg.Add(1)
+				go func(n int) {
+					defer wg.Done()
+					p := service.NewPipeline(service.PipelineConfig{
+						ServiceName:    serviceName,
+						Dim:            sz.dim,
+						Round:          round,
+						Tickets:        tbl,
+						ExpectedCohort: per + 1,
+					})
+					for _, batch := range nodeBatches[n] {
+						errs := errSlices[n][:len(batch)]
+						p.AddBatchErrs(batch, errs)
+						for _, err := range errs {
+							if err != nil {
+								fatal(err)
+							}
+						}
+					}
+					seal, err := p.PartialSeal(service.NodeSeal{
+						NodeID:      uint32(n + 1),
+						ShardCount:  nodes,
+						Measurement: tee.Measurement{0xFE, byte(n + 1)},
+						Key:         nodeKeys[n],
+					})
+					if err != nil {
+						fatal(err)
+					}
+					p.Close()
+					seals[n] = seal
+				}(n)
+			}
+			wg.Wait()
+			m := service.NewMerge(service.MergeConfig{
+				ServiceName: serviceName,
+				Round:       round,
+				AllowTOFU:   true,
+			})
+			for _, seal := range seals {
+				if err := m.Absorb(seal); err != nil {
+					fatal(err)
+				}
+			}
+			if !m.Complete() {
+				fatal(fmt.Errorf("fleet round incomplete"))
+			}
+		}
+		b.ReportMetric(float64(b.N*per*nodes)/b.Elapsed().Seconds(), "contrib_per_sec")
 	})
 }
 

@@ -27,18 +27,34 @@
 // known-hosts pin so clients can be provisioned without the TOFU leap of
 // faith.
 //
+// Fleet mode shards rounds across several glimmerd processes: -node-id
+// names this node on the consistent-hash ring, -peers lists the node set
+// (id=addr pairs; batching clients route with the same ring via
+// gaas.DialFleet), and -coordinator selects the merge role — "self"
+// serves the fleet-merge command from an in-process merge hub (TOFU node
+// pinning), while host:port ships this node's signed partial seals to a
+// remote coordinator when the daemon drains. The fleet plane
+// (fleet-forward for peer batches, fleet-merge for partial seals) mounts
+// whenever either flag is set.
+//
 // On SIGINT/SIGTERM the daemon stops accepting, drains in-flight batches,
 // seals every open round, and prints per-tenant sealed sums, rejection
-// counters, and the edge governance counters before exiting.
+// counters, the edge governance counters, and — in fleet mode — the node
+// role and partial-seal merge counters before exiting.
 //
 // Usage:
 //
 //	glimmerd -listen 127.0.0.1:7433 -dim 16 -workers 8 -shards 32 \
 //	  -tls-self-signed -max-conns 4096 -max-conns-per-ip 64 \
 //	  -tenants sensors.example:8,webservice.example:bot
+//
+//	glimmerd -listen 127.0.0.1:7441 -node-id 1 \
+//	  -peers 1=127.0.0.1:7441,2=127.0.0.1:7442,3=127.0.0.1:7443 \
+//	  -coordinator 127.0.0.1:7450
 package main
 
 import (
+	"context"
 	"crypto/tls"
 	"flag"
 	"fmt"
@@ -61,7 +77,28 @@ import (
 	"glimmers/internal/predicate"
 	"glimmers/internal/service"
 	"glimmers/internal/tee"
+	"glimmers/internal/xcrypto"
 )
+
+// parsePeers parses "1=host:port,2=host:port" into the fleet node set.
+func parsePeers(s string) ([]gaas.FleetNode, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var nodes []gaas.FleetNode
+	for _, entry := range strings.Split(s, ",") {
+		idStr, addr, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok || addr == "" {
+			return nil, fmt.Errorf("peer %q: want id=host:port", entry)
+		}
+		id, err := strconv.ParseUint(idStr, 10, 32)
+		if err != nil || id == 0 {
+			return nil, fmt.Errorf("peer %q: node id must be a positive integer", entry)
+		}
+		nodes = append(nodes, gaas.FleetNode{ID: uint32(id), Addr: addr})
+	}
+	return nodes, nil
+}
 
 // tenantSpec is one parsed -tenants entry.
 type tenantSpec struct {
@@ -179,6 +216,12 @@ func main() {
 	tlsKey := flag.String("tls-key", "", "TLS private key file for -tls-cert")
 	writeKnownHosts := flag.String("write-known-hosts", "",
 		"write each tenant's measurement pin to this gaas known-hosts file and continue serving")
+	nodeID := flag.Uint("node-id", 0,
+		"fleet: this node's ring identity (0 = standalone; required with -peers)")
+	peers := flag.String("peers", "",
+		"fleet: the full node set as id=host:port pairs, comma-separated (must include -node-id)")
+	coordinator := flag.String("coordinator", "",
+		`fleet: "self" serves the fleet-merge command here; host:port ships this node's partial seals there on drain`)
 	flag.Parse()
 
 	switch {
@@ -204,6 +247,27 @@ func main() {
 		log.Fatal("glimmerd: -tls-self-signed and -tls-cert/-tls-key are mutually exclusive")
 	case (*tlsCert == "") != (*tlsKey == ""):
 		log.Fatal("glimmerd: -tls-cert and -tls-key must be set together")
+	case *nodeID > uint(^uint32(0)):
+		log.Fatalf("glimmerd: -node-id must fit in 32 bits, got %d", *nodeID)
+	}
+	peerNodes, err := parsePeers(*peers)
+	if err != nil {
+		log.Fatalf("glimmerd: -peers: %v", err)
+	}
+	if len(peerNodes) > 0 {
+		if *nodeID == 0 {
+			log.Fatal("glimmerd: -peers requires -node-id")
+		}
+		found := false
+		for _, n := range peerNodes {
+			found = found || n.ID == uint32(*nodeID)
+		}
+		if !found {
+			log.Fatalf("glimmerd: -peers does not include this node's id %d", *nodeID)
+		}
+	}
+	if *coordinator != "" && *coordinator != "self" && *nodeID == 0 {
+		log.Fatal("glimmerd: shipping partial seals (-coordinator host:port) requires -node-id")
 	}
 	specs := []tenantSpec{{name: *serviceName, dim: *dim}}
 	extra, err := parseTenants(*tenants)
@@ -287,6 +351,27 @@ func main() {
 		MaxInflightBatches: *maxInflight,
 	})
 
+	// Fleet plane: peer batch forwarding always mounts in fleet mode; the
+	// merge hub mounts only on the coordinator. The node signing key is
+	// per-process — coordinators pin it on first use, so a later key swap
+	// under the same node id is refused.
+	fleetMode := *nodeID != 0 || *coordinator != ""
+	var hub *service.MergeHub
+	if *coordinator == "self" {
+		hub = &service.MergeHub{AllowTOFU: true}
+	}
+	var nodeKey *xcrypto.SigningKey
+	if fleetMode {
+		if nodeKey, err = xcrypto.NewSigningKey(); err != nil {
+			log.Fatalf("fleet node key: %v", err)
+		}
+		var forward gaas.Ingestor
+		if *nodeID != 0 {
+			forward = registry
+		}
+		server.Mux().HandleFleet(forward, hub)
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
@@ -299,6 +384,10 @@ func main() {
 		len(specs), ln.Addr(), transport, *maxRounds, *workers)
 	fmt.Printf("glimmerd: edge limits: max-conns=%d per-ip=%d inflight-batches=%d read=%v write=%v idle=%v\n",
 		*maxConns, *maxConnsPerIP, *maxInflight, *readTimeout, *writeTimeout, *idleTimeout)
+	if fleetMode {
+		fmt.Printf("glimmerd: fleet: role=%s peers=%d coordinator=%q\n",
+			fleetRole(uint32(*nodeID), hub != nil), len(peerNodes), *coordinator)
+	}
 	for _, t := range registry.Tenants() {
 		meas, err := server.MeasurementFor(t.Name())
 		if err != nil {
@@ -340,6 +429,37 @@ func main() {
 	fmt.Printf("glimmerd: edge counters: refused-max-conns=%d refused-per-ip=%d shed-batches=%d\n",
 		stats.RefusedMaxConns, stats.RefusedPerIP, stats.ShedBatches)
 	reportTenants(registry)
+	if fleetMode {
+		// Ship this node's partial seals before snapshotting: the rounds
+		// are sealed (reportTenants fixed every cohort), so each export is
+		// the round's final partial.
+		if *coordinator != "" && *coordinator != "self" {
+			shardCount := uint32(len(peerNodes))
+			if shardCount == 0 {
+				shardCount = 1
+			}
+			shipPartialSeals(registry, server, *coordinator, service.NodeSeal{
+				NodeID:      uint32(*nodeID),
+				ShardCount:  shardCount,
+				Measurement: server.Measurement(),
+				Key:         nodeKey,
+			})
+		}
+		if hub != nil {
+			for svc, rounds := range hub.Merges() {
+				for _, round := range rounds {
+					if m, ok := hub.Lookup(svc, round); ok {
+						res := m.Result()
+						fmt.Printf("glimmerd: merge %s round %-6d partials=%d/%d cohort=%d rejected=%d refused=%d complete=%v\n",
+							svc, round, res.Merged, res.Expect, res.Count, res.Rejected, res.Refused, m.Complete())
+					}
+				}
+			}
+		}
+		fs := server.FleetStats()
+		fmt.Printf("glimmerd: fleet counters: role=%s partials sent=%d received=%d refused=%d forwarded-batches=%d\n",
+			fleetRole(uint32(*nodeID), hub != nil), fs.PartialsSent, fs.PartialsReceived, fs.PartialsRefused, fs.ForwardedBatches)
+	}
 	if store != nil {
 		// Ingest is quiesced (listener closed, handlers drained, rounds
 		// sealed by the report), so the image is consistent by contract.
@@ -350,6 +470,53 @@ func main() {
 			log.Fatalf("state close: %v", err)
 		}
 		fmt.Printf("glimmerd: state snapshotted to %s\n", *stateDir)
+	}
+}
+
+// fleetRole names this process's fleet role for the status lines.
+func fleetRole(nodeID uint32, coordinator bool) string {
+	switch {
+	case nodeID != 0 && coordinator:
+		return fmt.Sprintf("node-%d+coordinator", nodeID)
+	case nodeID != 0:
+		return fmt.Sprintf("node-%d", nodeID)
+	case coordinator:
+		return "coordinator"
+	default:
+		return "standalone"
+	}
+}
+
+// shipPartialSeals exports every tenant round's signed partial seal and
+// ships it to the remote merge coordinator. Shipping is best-effort at
+// drain time: a refused or unreachable coordinator is reported, not
+// fatal — the durable snapshot still holds the partials for a retry.
+func shipPartialSeals(registry *service.Registry, server *gaas.Server, addr string, node service.NodeSeal) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	client, err := gaas.DialContext(ctx, addr, gaas.DialConfig{NoSession: true})
+	if err != nil {
+		fmt.Printf("glimmerd: coordinator %s unreachable: %v\n", addr, err)
+		return
+	}
+	defer client.Close()
+	for _, t := range registry.Tenants() {
+		m := t.Manager()
+		for _, round := range m.Rounds() {
+			seal, err := m.ExportPartialSeal(round, node)
+			if err != nil {
+				fmt.Printf("glimmerd: partial seal %s round %d: %v\n", t.Name(), round, err)
+				continue
+			}
+			res, err := client.MergePartialSeal(seal)
+			if err != nil {
+				fmt.Printf("glimmerd: coordinator refused %s round %d: %v\n", t.Name(), round, err)
+				continue
+			}
+			server.NotePartialSent()
+			fmt.Printf("glimmerd: shipped partial %s round %-6d merge now %d/%d partials cohort=%d\n",
+				t.Name(), round, res.Merged, res.Expect, res.Count)
+		}
 	}
 }
 

@@ -1,0 +1,186 @@
+// Package fleet shards (tenant, round) across glimmerd nodes.
+//
+// Glimmers' aggregation algebra is natively horizontal: partial sums are
+// additive in Z_2^64 and dedup is digest-sharded, so a round can be split
+// across nodes and merged exactly (internal/service's partial-seal
+// merge). What the algebra does not give us is *placement* — which node
+// owns which round. This package supplies it: a consistent-hash ring with
+// virtual nodes, keyed on (service, round), with an alloc-free owner
+// lookup fed by the contribution peeks (glimmer.PeekContributionService /
+// PeekContributionRound) so per-contribution routing stays on the
+// zero-alloc ingest path.
+//
+// Consistent hashing keeps the re-home blast radius small: removing a
+// node moves only the rounds it owned (to each arc's successor), so a
+// crash mid-round turns into exactly one extra partial seal per affected
+// round instead of a fleet-wide reshuffle.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"glimmers/internal/glimmer"
+)
+
+// DefaultVirtualNodes is how many ring points each node plants when the
+// caller doesn't say. 64 keeps the max/mean ownership skew under ~30% for
+// small fleets while the ring stays tiny enough to binary-search hot.
+const DefaultVirtualNodes = 64
+
+// point is one virtual node on the ring.
+type point struct {
+	hash uint64
+	node uint32
+}
+
+// Ring is an immutable consistent-hash ring. Immutability is the
+// concurrency story: lookups are lock-free reads, and membership changes
+// (a crash re-home) build a new ring with Without.
+type Ring struct {
+	points []point
+	nodes  []uint32
+}
+
+// fnv-1a, inlined so the per-contribution lookup path allocates nothing
+// and calls nothing.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvBytes(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime
+	}
+	return h
+}
+
+func fnvUint64(h, v uint64) uint64 {
+	for shift := 56; shift >= 0; shift -= 8 {
+		h = (h ^ (v >> shift & 0xFF)) * fnvPrime
+	}
+	return h
+}
+
+// mix is a 64-bit avalanche finalizer (murmur3's fmix64). FNV-1a alone is
+// a poor ring hash: a trailing byte change (the round number, the vnode
+// replica) barely moves the high bits, so every vnode of a node lands in
+// one tight arc and one node ends up owning the whole keyspace. The
+// finalizer spreads every input bit across the word.
+func mix(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// NewRing builds a ring over the given node IDs, planting vnodes virtual
+// points per node (DefaultVirtualNodes if vnodes <= 0). Node IDs must be
+// distinct; order does not matter — any permutation builds the identical
+// ring, so every fleet member derives the same placement from the same
+// peer list.
+func NewRing(nodes []uint32, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("fleet: ring needs at least one node")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[uint32]bool, len(nodes))
+	r := &Ring{
+		points: make([]point, 0, len(nodes)*vnodes),
+		nodes:  append([]uint32(nil), nodes...),
+	}
+	sort.Slice(r.nodes, func(i, j int) bool { return r.nodes[i] < r.nodes[j] })
+	for _, n := range r.nodes {
+		if seen[n] {
+			return nil, fmt.Errorf("fleet: duplicate node id %d", n)
+		}
+		seen[n] = true
+		for rep := 0; rep < vnodes; rep++ {
+			h := fnvBytes(fnvOffset, []byte("glimmers/fleet/v1"))
+			h = fnvUint64(h, uint64(n))
+			h = fnvUint64(h, uint64(rep))
+			r.points = append(r.points, point{hash: mix(h), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by node ID so placement
+		// stays permutation-independent.
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// Nodes returns the ring's membership, ascending. Callers must not
+// mutate the returned slice.
+func (r *Ring) Nodes() []uint32 { return r.nodes }
+
+// Size returns the number of (real) nodes on the ring.
+func (r *Ring) Size() int { return len(r.nodes) }
+
+// Owner returns the node that owns (service, round): the first virtual
+// node at or clockwise of the key's hash. It does not allocate — service
+// may be a view straight out of a wire frame.
+func (r *Ring) Owner(service []byte, round uint64) uint32 {
+	h := mix(fnvUint64(fnvBytes(fnvOffset, service), round))
+	// Inlined lower-bound search; sort.Search costs a closure allocation
+	// in some inlining states and this runs per contribution.
+	lo, hi := 0, len(r.points)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.points[mid].hash < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(r.points) {
+		lo = 0 // wrap: the ring is a circle
+	}
+	return r.points[lo].node
+}
+
+// OwnerOf routes a raw encoded SignedContribution (or TicketedContribution
+// — both lead with the service name then the round) by peeking its
+// service name and round without decoding the rest. The peeks are views;
+// the whole lookup is alloc-free.
+func (r *Ring) OwnerOf(raw []byte) (uint32, error) {
+	service, err := glimmer.PeekContributionService(raw)
+	if err != nil {
+		return 0, err
+	}
+	round, err := glimmer.PeekContributionRound(raw)
+	if err != nil {
+		return 0, err
+	}
+	return r.Owner(service, round), nil
+}
+
+// Without returns a new ring with the given node removed — the re-home
+// step after a crash. Keys the dead node owned move to their arcs'
+// successors; every other placement is unchanged (that is the point of
+// consistent hashing). Returns an error if removing the node would empty
+// the ring or the node isn't a member.
+func (r *Ring) Without(node uint32) (*Ring, error) {
+	rest := make([]uint32, 0, len(r.nodes)-1)
+	for _, n := range r.nodes {
+		if n != node {
+			rest = append(rest, n)
+		}
+	}
+	if len(rest) == len(r.nodes) {
+		return nil, fmt.Errorf("fleet: node %d not on the ring", node)
+	}
+	if len(rest) == 0 {
+		return nil, fmt.Errorf("fleet: removing node %d empties the ring", node)
+	}
+	vnodes := len(r.points) / len(r.nodes)
+	return NewRing(rest, vnodes)
+}

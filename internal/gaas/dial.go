@@ -273,6 +273,12 @@ func (c *Client) RequestTicket(request []byte) ([]byte, error) {
 // (wire.EncodedBatchSize), so the retryable ErrBatchTooLarge path encodes
 // nothing at all.
 func (c *Client) SubmitBatch(raws [][]byte) (accepted, rejected int, err error) {
+	return c.submitBatchCmd(cmdSubmitBatch, raws)
+}
+
+// submitBatchCmd is the shared encode-once batch round trip behind
+// SubmitBatch (submit-batch) and ForwardBatch (fleet-forward).
+func (c *Client) submitBatchCmd(cmd string, raws [][]byte) (accepted, rejected int, err error) {
 	// Check the protocol limits client-side: the server rejects an
 	// oversized frame with ErrFrameTooLarge and then drops the connection
 	// (losing the session), and an over-count batch with a generic remote
@@ -290,7 +296,7 @@ func (c *Client) SubmitBatch(raws [][]byte) (accepted, rejected int, err error) 
 	}
 	defer c.disarmDeadline()
 	bufp := frameBufPool.Get().(*[]byte)
-	buf := appendFrameHeader((*bufp)[:0], cmdSubmitBatch, batchSize)
+	buf := appendFrameHeader((*bufp)[:0], cmd, batchSize)
 	buf = wire.AppendBatch(buf, raws)
 	_, err = c.conn.Write(buf)
 	*bufp = buf[:0]

@@ -1,0 +1,254 @@
+package gaas
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"testing"
+
+	"glimmers/internal/fixed"
+	"glimmers/internal/glimmer"
+	"glimmers/internal/service"
+	"glimmers/internal/tee"
+	"glimmers/internal/xcrypto"
+)
+
+// fleetTenant is the shared tenant identity a fleet serves: one
+// contribution-signing key, one vetted measurement, N independent node
+// managers.
+type fleetTenant struct {
+	key  *xcrypto.SigningKey
+	meas tee.Measurement
+}
+
+func newFleetTenant(t *testing.T) *fleetTenant {
+	t.Helper()
+	key, err := xcrypto.NewSigningKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fleetTenant{key: key, meas: tee.Measurement{1, 2, 3}}
+}
+
+func (ft *fleetTenant) manager(dim int) *service.RoundManager {
+	m := service.NewRoundManager(service.PipelineConfig{
+		ServiceName: "iot.example", Verify: ft.key.Public(), Dim: dim,
+		Workers: 1, Shards: 2,
+	})
+	m.Vet(ft.meas)
+	return m
+}
+
+func (ft *fleetTenant) contribution(t *testing.T, round uint64, dim int, rng *rand.Rand) []byte {
+	t.Helper()
+	v := fixed.NewVector(dim)
+	for i := range v {
+		v[i] = fixed.Ring(rng.Uint64())
+	}
+	sc := glimmer.SignedContribution{
+		ServiceName: "iot.example", Round: round, Measurement: ft.meas, Blinded: v,
+	}
+	sig, err := ft.key.Sign(sc.SignedBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Signature = sig
+	return glimmer.EncodeSignedContribution(sc)
+}
+
+// fleetServer spins one node: a server whose mux registers both client
+// ingest and the fleet plane.
+func fleetServer(t *testing.T, ing Ingestor, merger PartialMerger) (*Server, string) {
+	t.Helper()
+	mux := NewServeMux()
+	if ing != nil {
+		mux.HandleIngest(ing)
+	}
+	mux.HandleFleet(ing, merger)
+	srv := New(ServerConfig{Mux: mux})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close(); srv.Shutdown() })
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String()
+}
+
+// TestFleetForwardAndMerge exercises the two fleet commands end to end:
+// a peer forwards a batch over fleet-forward, the node exports its
+// partial seal, the coordinator merges it over fleet-merge, and a
+// replayed seal is refused across the wire without disturbing the merge.
+func TestFleetForwardAndMerge(t *testing.T) {
+	const dim, round = 3, uint64(7)
+	ft := newFleetTenant(t)
+	rounds := ft.manager(dim)
+	nodeSrv, nodeAddr := fleetServer(t, rounds, nil)
+
+	hub := &service.MergeHub{AllowTOFU: true}
+	coordSrv, coordAddr := fleetServer(t, nil, hub)
+
+	rng := rand.New(rand.NewSource(3))
+	raws := make([][]byte, 6)
+	for i := range raws {
+		raws[i] = ft.contribution(t, round, dim, rng)
+	}
+	peer, err := DialContext(context.Background(), nodeAddr, DialConfig{NoSession: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	accepted, rejected, err := peer.ForwardBatch(append(append([][]byte(nil), raws...), raws[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted != 6 || rejected != 1 {
+		t.Fatalf("forward tallies accepted=%d rejected=%d", accepted, rejected)
+	}
+	if fs := nodeSrv.FleetStats(); fs.ForwardedBatches != 1 {
+		t.Fatalf("node fleet stats = %+v", fs)
+	}
+
+	nodeKey, err := xcrypto.NewSigningKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seal, err := rounds.ExportPartialSeal(round, service.NodeSeal{
+		NodeID: 1, ShardCount: 1, Measurement: tee.Measurement{0x51}, Key: nodeKey,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord, err := DialContext(context.Background(), coordAddr, DialConfig{NoSession: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	res, err := coord.MergePartialSeal(seal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeSrv.NotePartialSent()
+	if res.Merged != 1 || res.Expect != 1 || res.Count != 6 || res.Rejected != 1 {
+		t.Fatalf("merge result = %+v", res)
+	}
+	m, ok := hub.Lookup("iot.example", round)
+	if !ok || !m.Complete() {
+		t.Fatal("coordinator merge not complete")
+	}
+	sum := m.Sum()
+	want := rounds.Round(round).Sum()
+	for i := range want {
+		if sum[i] != want[i] {
+			t.Fatalf("merged sum lane %d = %d, node sum %d", i, sum[i], want[i])
+		}
+	}
+
+	// Replay across the wire: refused as an error frame, connection and
+	// merge both undisturbed.
+	if _, err := coord.MergePartialSeal(seal); err == nil {
+		t.Fatal("replayed seal accepted over the wire")
+	}
+	if res := m.Result(); res.Merged != 1 || res.Refused != 1 {
+		t.Fatalf("after replay: %+v", res)
+	}
+	if fs := coordSrv.FleetStats(); fs.PartialsReceived != 2 || fs.PartialsRefused != 1 {
+		t.Fatalf("coordinator fleet stats = %+v", fs)
+	}
+	if fs := nodeSrv.FleetStats(); fs.PartialsSent != 1 {
+		t.Fatalf("node fleet stats = %+v", fs)
+	}
+	// The refused replay must not have poisoned the connection.
+	if _, err := coord.MergePartialSeal(seal); err == nil {
+		t.Fatal("second replay accepted")
+	}
+}
+
+// TestFleetClientRouting drives the ring-routing client against three
+// live nodes: every contribution lands on its ring owner, tallies add
+// up, and a re-home moves orphaned shards without touching survivors.
+func TestFleetClientRouting(t *testing.T) {
+	const dim = 3
+	ft := newFleetTenant(t)
+	managers := map[uint32]*service.RoundManager{}
+	nodes := make([]FleetNode, 0, 3)
+	for id := uint32(1); id <= 3; id++ {
+		m := ft.manager(dim)
+		managers[id] = m
+		_, addr := fleetServer(t, m, nil)
+		nodes = append(nodes, FleetNode{ID: id, Addr: addr})
+	}
+	fc, err := DialFleet(context.Background(), FleetConfig{Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+
+	rng := rand.New(rand.NewSource(17))
+	var raws [][]byte
+	perRound := map[uint64]int{}
+	for round := uint64(1); round <= 12; round++ {
+		for i := 0; i < 4; i++ {
+			raws = append(raws, ft.contribution(t, round, dim, rng))
+			perRound[round]++
+		}
+	}
+	accepted, rejected, err := fc.SubmitBatch(raws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted != len(raws) || rejected != 0 {
+		t.Fatalf("fleet tallies accepted=%d rejected=%d of %d", accepted, rejected, len(raws))
+	}
+	// Every round must live wholly on its ring owner.
+	for round, want := range perRound {
+		owner := fc.Ring().Owner([]byte("iot.example"), round)
+		for id, m := range managers {
+			p, ok := m.Lookup(round)
+			got := 0
+			if ok {
+				got = p.Count()
+			}
+			switch {
+			case id == owner && got != want:
+				t.Fatalf("round %d: owner %d holds %d/%d", round, id, got, want)
+			case id != owner && got != 0:
+				t.Fatalf("round %d: non-owner %d holds %d contributions", round, id, got)
+			}
+		}
+	}
+	if fc.Sent() == 0 {
+		t.Fatal("no batches sent")
+	}
+
+	// Unroutable frames count rejected without a round trip.
+	if _, rej, err := fc.SubmitBatch([][]byte{{0x00}}); err != nil || rej != 1 {
+		t.Fatalf("unroutable frame: rej=%d err=%v", rej, err)
+	}
+
+	// Re-home node 2: its rounds move, survivors keep theirs.
+	before := map[uint64]uint32{}
+	for round := range perRound {
+		before[round] = fc.Ring().Owner([]byte("iot.example"), round)
+	}
+	if err := fc.Rehome(2); err != nil {
+		t.Fatal(err)
+	}
+	for round, owner := range before {
+		now := fc.Ring().Owner([]byte("iot.example"), round)
+		if owner != 2 && now != owner {
+			t.Fatalf("round %d moved %d -> %d though its owner survived", round, owner, now)
+		}
+		if owner == 2 && now == 2 {
+			t.Fatalf("round %d still owned by removed node", round)
+		}
+	}
+	more := [][]byte{ft.contribution(t, 99, dim, rng)}
+	if acc, _, err := fc.SubmitBatch(more); err != nil || acc != 1 {
+		t.Fatalf("post-rehome submit acc=%d err=%v", acc, err)
+	}
+	if p, ok := managers[2].Lookup(99); ok && p.Count() > 0 {
+		t.Fatal("removed node received post-rehome traffic")
+	}
+}

@@ -30,10 +30,12 @@ func (f HandlerFunc) ServeGlimmer(s *Session, body []byte) ([]byte, error) { ret
 // before the mux serves — the route table is read lock-free on the frame
 // hot path.
 type ServeMux struct {
-	handlers map[string]Handler
-	hosts    HostResolver
-	ingest   Ingestor
-	granter  TicketGranter
+	handlers    map[string]Handler
+	hosts       HostResolver
+	ingest      Ingestor
+	granter     TicketGranter
+	fleetIngest Ingestor
+	merger      PartialMerger
 }
 
 // NewServeMux returns a mux with no routes.

@@ -99,6 +99,12 @@ type Server struct {
 	refusedConns atomic.Int64
 	refusedPerIP atomic.Int64
 	shedBatches  atomic.Int64
+
+	// Fleet-plane counters (see FleetStats).
+	partialsSent     atomic.Int64
+	partialsReceived atomic.Int64
+	partialsRefused  atomic.Int64
+	forwardedBatches atomic.Int64
 }
 
 // New assembles a Server from cfg.

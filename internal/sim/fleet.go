@@ -1,0 +1,700 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+
+	"glimmers/internal/blind"
+	"glimmers/internal/durable"
+	"glimmers/internal/fixed"
+	"glimmers/internal/fleet"
+	"glimmers/internal/glimmer"
+	"glimmers/internal/predicate"
+	"glimmers/internal/service"
+	"glimmers/internal/tee"
+	"glimmers/internal/wire"
+	"glimmers/internal/xcrypto"
+)
+
+// Fleet scenario: one tenant's rounds sharded across N glimmerd nodes by
+// consistent hashing, each node sealing a signed partial aggregate, a
+// coordinator merging the partials — driven through a node crash, a
+// network partition, and a battery of forged-seal probes.
+//
+// The scenario demands the fleet's three correctness claims:
+//
+//   - exact sums survive sharding: the merged sum of every round — clean,
+//     crashed, or partitioned — is byte-identical to the single-node exact
+//     sum of its full cohort (the zero-sum dealer masks cancel only once
+//     the merged partials cover the whole cohort, so any lost or doubled
+//     contribution poisons the sum loudly);
+//   - accounting reconciles globally: every refusal a node booked travels
+//     in its seal, and the coordinator's totals equal exactly the probes
+//     the scenario injected — across nodes, crashes, and re-homes;
+//   - forged, replayed, stale, and overlapping partial seals are refused
+//     without disturbing their merge, including the cross-node
+//     double-submit a client retry after a lost ack would cause.
+type FleetConfig struct {
+	Seed        int64
+	Nodes       int // glimmerd node count; rounds shard across them
+	Devices     int // full cohort per round
+	Dim         int
+	CleanRounds int // fault-free rounds before the crash and partition
+}
+
+func (c FleetConfig) withDefaults() FleetConfig {
+	if c.Nodes <= 0 {
+		c.Nodes = 3
+	}
+	if c.Devices <= 0 {
+		c.Devices = 9
+	}
+	if c.Dim <= 0 {
+		c.Dim = 4
+	}
+	if c.CleanRounds <= 0 {
+		c.CleanRounds = 3
+	}
+	return c
+}
+
+// rounds returns the total round count: the clean rounds plus the crash
+// round, the partition round, and the double-submit probe round.
+func (c FleetConfig) rounds() uint64 { return uint64(c.CleanRounds) + 3 }
+
+// FleetReport is the observable outcome of one fleet run.
+type FleetReport struct {
+	Nodes int
+	// Owner maps each round to the node the ring placed it on.
+	Owner map[uint64]uint32
+
+	// RecoverCrash is the crashed owner's restart: snapshot + WAL replay +
+	// torn-tail truncation, exactly as in the single-node crash scenario.
+	RecoverCrash durable.RecoverStats
+
+	MergedRounds   int    // merges driven to completion
+	MergedContribs uint64 // total cohort across completed merges
+	RejectedTotal  uint64 // node-booked refusals carried in merged seals
+	RefusedSeals   uint64 // partial seals the coordinator turned away
+
+	// DoubleSubmitCaught reports that the cross-node double submission was
+	// refused as an overlap instead of double-counting the contribution.
+	DoubleSubmitCaught bool
+
+	// SumDigests holds each merged round's sum digest — two runs with the
+	// same seed must produce identical maps.
+	SumDigests map[uint64]string
+
+	// Violations lists every invariant break; empty means the scenario
+	// held end to end.
+	Violations []string
+}
+
+func (r *FleetReport) violate(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+const fleetSimService = "fleet.example"
+
+// fleetWorld is the state outside any single node: the hardware and
+// attestation substrate, the tenant's service, the device fleet, and the
+// per-node signing identities (modeling sealed key storage, which a node
+// crash does not erase — a restarted node re-signs with the same key its
+// TOFU pin expects).
+type fleetWorld struct {
+	cfg      FleetConfig
+	as       *tee.AttestationService
+	platform *tee.Platform
+	svc      *service.Service
+	hostCfg  glimmer.Config
+	devices  []*glimmer.Device
+
+	nodeKeys map[uint32]*xcrypto.SigningKey
+
+	// values[r][i] is device i's honest contribution to round r.
+	values map[uint64][]fixed.Vector
+}
+
+func newFleetWorld(cfg FleetConfig) (*fleetWorld, error) {
+	as, err := tee.NewAttestationService()
+	if err != nil {
+		return nil, fmt.Errorf("sim: attestation service: %w", err)
+	}
+	platform, err := tee.NewPlatform(as)
+	if err != nil {
+		return nil, fmt.Errorf("sim: platform: %w", err)
+	}
+	svc, err := service.New(fleetSimService, as.Root())
+	if err != nil {
+		return nil, fmt.Errorf("sim: service: %w", err)
+	}
+	if err := svc.SetPredicate(predicate.UnitRangeCheck("unit-range", cfg.Dim)); err != nil {
+		return nil, fmt.Errorf("sim: predicate: %w", err)
+	}
+	hostCfg, err := svc.GlimmerConfig(cfg.Dim, glimmer.ModeNone, glimmer.DefaultPolicy)
+	if err != nil {
+		return nil, err
+	}
+	w := &fleetWorld{
+		cfg:      cfg,
+		as:       as,
+		platform: platform,
+		svc:      svc,
+		hostCfg:  hostCfg,
+		nodeKeys: make(map[uint32]*xcrypto.SigningKey, cfg.Nodes),
+		values:   make(map[uint64][]fixed.Vector, cfg.rounds()),
+	}
+	for id := uint32(1); id <= uint32(cfg.Nodes); id++ {
+		key, err := xcrypto.NewSigningKey()
+		if err != nil {
+			return nil, fmt.Errorf("sim: node %d key: %w", id, err)
+		}
+		w.nodeKeys[id] = key
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	masks := make(map[uint64][]fixed.Vector, cfg.rounds())
+	for round := uint64(1); round <= cfg.rounds(); round++ {
+		seed := fmt.Appendf(nil, "sim/%s/%d/masks/%d", fleetSimService, cfg.Seed, round)
+		ms, err := blind.ZeroSumMasks(seed, cfg.Devices, cfg.Dim)
+		if err != nil {
+			return nil, fmt.Errorf("sim: dealer masks for round %d: %w", round, err)
+		}
+		masks[round] = ms
+		vals := make([]fixed.Vector, cfg.Devices)
+		for i := range vals {
+			vals[i] = fixed.NewVector(cfg.Dim)
+			for j := range vals[i] {
+				vals[i][j] = fixed.FromFloat(rng.Float64())
+			}
+		}
+		w.values[round] = vals
+	}
+
+	glimCfg, err := svc.GlimmerConfig(cfg.Dim, glimmer.ModeDealer, glimmer.DefaultPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("sim: glimmer config: %w", err)
+	}
+	w.devices = make([]*glimmer.Device, cfg.Devices)
+	for i := range w.devices {
+		dev, err := glimmer.NewDevice(platform, glimCfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: device %d: %w", i, err)
+		}
+		svc.Vet(dev.Measurement())
+		payload, err := svc.BasePayload()
+		if err != nil {
+			return nil, err
+		}
+		payload.Masks = make(map[uint64][]uint64, len(masks))
+		for round, ms := range masks {
+			payload.Masks[round] = glimmer.VectorToBits(ms[i])
+		}
+		if err := svc.Provision(dev, payload); err != nil {
+			return nil, fmt.Errorf("sim: provisioning device %d: %w", i, err)
+		}
+		w.devices[i] = dev
+	}
+	return w, nil
+}
+
+func (w *fleetWorld) shutdown() {
+	for _, dev := range w.devices {
+		if dev != nil {
+			dev.Destroy()
+		}
+	}
+}
+
+func (w *fleetWorld) contribute(dev *glimmer.Device, round uint64, value fixed.Vector) ([]byte, error) {
+	sc, err := dev.Contribute(round, value, nil)
+	if err != nil {
+		return nil, err
+	}
+	return glimmer.EncodeSignedContribution(sc), nil
+}
+
+func (w *fleetWorld) expectedSum(round uint64) fixed.Vector {
+	sum := fixed.NewVector(w.cfg.Dim)
+	for _, v := range w.values[round] {
+		sum.AddInPlace(v)
+	}
+	return sum
+}
+
+// fleetNode is one glimmerd process: its registry, its durable store, and
+// its sealing identity.
+type fleetNode struct {
+	id      uint32
+	meas    tee.Measurement
+	key     *xcrypto.SigningKey
+	reg     *service.Registry
+	manager *service.RoundManager
+	store   *durable.Store
+}
+
+// buildFleetNode assembles one node life — config-file reconstruction
+// followed by durable recovery, the same start sequence the single-node
+// crash scenario exercises.
+func (w *fleetWorld) buildFleetNode(id uint32, dir string) (*fleetNode, durable.RecoverStats, error) {
+	var stats durable.RecoverStats
+	reg := service.NewRegistry(16)
+	tenant, err := reg.AddTenant(service.TenantConfig{
+		Name:           fleetSimService,
+		Verify:         w.svc.ContributionVerifyKey(),
+		Dim:            w.cfg.Dim,
+		Workers:        2,
+		Shards:         2,
+		ExpectedCohort: w.cfg.Devices + 2,
+		MaxRounds:      16,
+		Glimmer:        w.hostCfg,
+	})
+	if err != nil {
+		return nil, stats, fmt.Errorf("sim: node %d tenant: %w", id, err)
+	}
+	manager := tenant.Manager()
+	for _, dev := range w.devices {
+		manager.Vet(dev.Measurement())
+	}
+	store, err := durable.Open(dir)
+	if err != nil {
+		return nil, stats, fmt.Errorf("sim: node %d store: %w", id, err)
+	}
+	stats, err = store.Recover(reg)
+	if err != nil {
+		return nil, stats, fmt.Errorf("sim: node %d recovery: %w", id, err)
+	}
+	return &fleetNode{
+		id:      id,
+		meas:    tee.Measurement{0xFE, byte(id)},
+		key:     w.nodeKeys[id],
+		reg:     reg,
+		manager: manager,
+		store:   store,
+	}, stats, nil
+}
+
+// seal exports the node's signed partial for round, declaring the given
+// shard count.
+func (n *fleetNode) seal(round uint64, shards uint32) ([]byte, error) {
+	return n.manager.ExportPartialSeal(round, service.NodeSeal{
+		NodeID:      n.id,
+		ShardCount:  shards,
+		Measurement: n.meas,
+		Key:         n.key,
+	})
+}
+
+// resignSeal decodes a seal, re-attributes it to another node identity,
+// and re-signs it — the adversary who controls a valid key but claims
+// coverage (or a slot) that is not theirs.
+func resignSeal(raw []byte, nodeID uint32, key *xcrypto.SigningKey, meas tee.Measurement) ([]byte, error) {
+	seal, err := wire.DecodePartialSeal(raw)
+	if err != nil {
+		return nil, err
+	}
+	der, err := key.Public().Marshal()
+	if err != nil {
+		return nil, err
+	}
+	seal.NodeID = nodeID
+	seal.Measurement = meas[:]
+	seal.NodeKey = der
+	seal.Signature, err = key.Sign(seal.SignedBytes())
+	if err != nil {
+		return nil, err
+	}
+	return wire.EncodePartialSeal(seal), nil
+}
+
+func flipLastByte(raw []byte) []byte {
+	out := append([]byte(nil), raw...)
+	out[len(out)-1] ^= 0x01
+	return out
+}
+
+// RunFleet drives the fleet scenario against stateDir (which must be
+// empty — use a fresh temp dir; each node gets a subdirectory). Setup
+// failures return an error; invariant breaks are booked in the report's
+// Violations.
+func RunFleet(stateDir string, cfg FleetConfig) (*FleetReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &FleetReport{
+		Nodes:      cfg.Nodes,
+		Owner:      make(map[uint64]uint32),
+		SumDigests: make(map[uint64]string),
+	}
+	w, err := newFleetWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer w.shutdown()
+
+	ids := make([]uint32, 0, cfg.Nodes)
+	for id := uint32(1); id <= uint32(cfg.Nodes); id++ {
+		ids = append(ids, id)
+	}
+	ring, err := fleet.NewRing(ids, 0)
+	if err != nil {
+		return nil, err
+	}
+	svcKey := []byte(fleetSimService)
+
+	nodeDir := func(id uint32) string { return filepath.Join(stateDir, fmt.Sprintf("node-%d", id)) }
+	nodes := make(map[uint32]*fleetNode, cfg.Nodes)
+	for _, id := range ids {
+		n, stats, err := w.buildFleetNode(id, nodeDir(id))
+		if err != nil {
+			return nil, err
+		}
+		if stats.SnapshotLoaded || stats.Records != 0 {
+			rep.violate("node %d cold start found state in a fresh dir: %+v", id, stats)
+		}
+		nodes[id] = n
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.store.Close()
+		}
+	}()
+
+	// The coordinator never sees an unblinded value and holds no node
+	// registry: identities pin on first use and the pins span rounds, so
+	// a key swap in any later round is caught.
+	hub := &service.MergeHub{AllowTOFU: true}
+
+	var injectedRejects uint64 // node-level refusals the probes caused
+	var expectRefused uint64   // coordinator-level refusals the probes caused
+	refuse := func(seal []byte, want error, label string) {
+		if _, err := hub.MergePartialSeal(seal); !errors.Is(err, want) {
+			rep.violate("%s: got %v, want %v", label, err, want)
+		}
+		expectRefused++
+	}
+	// bookMerge checks a completed merge against the round's exact sum
+	// and records it.
+	bookMerge := func(round uint64, wantRejected uint64) {
+		m, ok := hub.Lookup(fleetSimService, round)
+		if !ok {
+			rep.violate("round %d: no merge materialized", round)
+			return
+		}
+		if !m.Complete() {
+			rep.violate("round %d: merge incomplete", round)
+			return
+		}
+		if !vectorsEqual(m.Sum(), w.expectedSum(round)) {
+			rep.violate("round %d: merged sum differs from the exact single-node sum", round)
+		}
+		res := m.Result()
+		if res.Count != uint64(cfg.Devices) {
+			rep.violate("round %d: merged cohort = %d, want %d", round, res.Count, cfg.Devices)
+		}
+		if res.Rejected != wantRejected {
+			rep.violate("round %d: merged rejected = %d, want %d", round, res.Rejected, wantRejected)
+		}
+		rep.MergedRounds++
+		rep.MergedContribs += res.Count
+		rep.SumDigests[round] = m.Sum().Digest()
+	}
+
+	// ingestRound ships the cohort's raws to node n with the standard
+	// probe pair: a forged signature (submitted before its genuine copy,
+	// so dedup cannot mask a signature bypass) and a duplicate.
+	ingestRound := func(n *fleetNode, round uint64, raws [][]byte) {
+		if err := n.reg.Ingest(raws[0]); err != nil {
+			rep.violate("round %d device 0 refused at node %d: %v", round, n.id, err)
+		}
+		if err := n.reg.Ingest(flipLastByte(raws[len(raws)-1])); err == nil {
+			rep.violate("round %d: node %d accepted a forged contribution", round, n.id)
+		}
+		injectedRejects++
+		for i := 1; i < len(raws); i++ {
+			if err := n.reg.Ingest(raws[i]); err != nil {
+				rep.violate("round %d device %d refused at node %d: %v", round, i, n.id, err)
+			}
+		}
+		if err := n.reg.Ingest(raws[0]); !errors.Is(err, service.ErrDuplicate) {
+			rep.violate("round %d duplicate at node %d returned %v, want ErrDuplicate", round, n.id, err)
+		}
+		injectedRejects++
+	}
+
+	cohortRaws := func(round uint64) ([][]byte, error) {
+		raws := make([][]byte, cfg.Devices)
+		for i, dev := range w.devices {
+			raw, err := w.contribute(dev, round, w.values[round][i])
+			if err != nil {
+				return nil, fmt.Errorf("sim: round %d device %d: %w", round, i, err)
+			}
+			raws[i] = raw
+		}
+		return raws, nil
+	}
+
+	// ----- Clean rounds: the ring places each round on one owner, the
+	// owner seals a ShardCount=1 partial, the coordinator merges it.
+	for round := uint64(1); round <= uint64(cfg.CleanRounds); round++ {
+		owner := ring.Owner(svcKey, round)
+		rep.Owner[round] = owner
+		raws, err := cohortRaws(round)
+		if err != nil {
+			return nil, err
+		}
+		ingestRound(nodes[owner], round, raws)
+		seal, err := nodes[owner].seal(round, 1)
+		if err != nil {
+			return nil, fmt.Errorf("sim: round %d seal: %w", round, err)
+		}
+		if _, err := hub.MergePartialSeal(seal); err != nil {
+			rep.violate("round %d: coordinator refused the owner's seal: %v", round, err)
+		}
+		bookMerge(round, 2)
+	}
+
+	// ----- Crash round: the owner dies after accepting half the cohort;
+	// the remainder re-homes to the ring successor; the restarted owner
+	// recovers its partial from snapshot + WAL and both nodes seal
+	// ShardCount=2 partials.
+	crashRound := uint64(cfg.CleanRounds) + 1
+	owner := ring.Owner(svcKey, crashRound)
+	rep.Owner[crashRound] = owner
+	shrunk, err := ring.Without(owner)
+	if err != nil {
+		return nil, err
+	}
+	fallback := nodes[shrunk.Owner(svcKey, crashRound)]
+	own := nodes[owner]
+
+	// The periodic snapshot every deployment takes; the crash lands
+	// between it and the seal.
+	if err := own.store.Snapshot(own.reg); err != nil {
+		return nil, fmt.Errorf("sim: pre-crash snapshot: %w", err)
+	}
+	raws, err := cohortRaws(crashRound)
+	if err != nil {
+		return nil, err
+	}
+	half := cfg.Devices / 2
+	for i := 0; i < half; i++ {
+		if err := own.reg.Ingest(raws[i]); err != nil {
+			rep.violate("crash round device %d refused pre-crash: %v", i, err)
+		}
+	}
+	if err := own.store.Err(); err != nil {
+		return nil, fmt.Errorf("sim: WAL append: %w", err)
+	}
+	// Kill: the registry and store are abandoned mid-write.
+	if err := tearWALTail(nodeDir(owner)); err != nil {
+		return nil, err
+	}
+	own, rep.RecoverCrash, err = w.buildFleetNode(owner, nodeDir(owner))
+	if err != nil {
+		return nil, err
+	}
+	nodes[owner] = own
+	if !rep.RecoverCrash.SnapshotLoaded {
+		rep.violate("restarted owner did not load the snapshot")
+	}
+	if rep.RecoverCrash.TruncatedBytes == 0 {
+		rep.violate("restarted owner did not truncate the torn WAL tail")
+	}
+	if rep.RecoverCrash.ReplayErrors != 0 {
+		rep.violate("owner replay reported %d errors", rep.RecoverCrash.ReplayErrors)
+	}
+	if p, ok := own.manager.Lookup(crashRound); !ok {
+		rep.violate("restarted owner lost the in-flight crash round")
+	} else if got := p.Count(); got != half {
+		rep.violate("restarted owner holds %d/%d pre-crash contributions", got, half)
+	}
+	// Dedup survived the crash: a duplicate of a pre-crash contribution
+	// is still a duplicate on the restarted owner.
+	if err := own.reg.Ingest(raws[0]); !errors.Is(err, service.ErrDuplicate) {
+		rep.violate("pre-crash duplicate returned %v, want ErrDuplicate", err)
+	}
+	injectedRejects++
+
+	// Re-home: the unacked remainder goes to the ring successor. The
+	// acked half is NOT re-sent — the owner's recovered partial covers
+	// it, and a re-send would surface as an overlap at merge time.
+	if err := fallback.reg.Ingest(raws[half]); err != nil {
+		rep.violate("crash round device %d refused at fallback: %v", half, err)
+	}
+	if err := fallback.reg.Ingest(flipLastByte(raws[cfg.Devices-1])); err == nil {
+		rep.violate("fallback accepted a forged contribution")
+	}
+	injectedRejects++
+	for i := half + 1; i < cfg.Devices; i++ {
+		if err := fallback.reg.Ingest(raws[i]); err != nil {
+			rep.violate("crash round device %d refused at fallback: %v", i, err)
+		}
+	}
+
+	// Merge under attack: the fallback's seal lands first and fixes the
+	// split at two, then every forged variant is refused without
+	// disturbing the merge, then the recovered owner completes it.
+	fbSeal, err := fallback.seal(crashRound, 2)
+	if err != nil {
+		return nil, fmt.Errorf("sim: fallback seal: %w", err)
+	}
+	if _, err := hub.MergePartialSeal(fbSeal); err != nil {
+		rep.violate("coordinator refused the fallback's seal: %v", err)
+	}
+	staleSeal, err := own.seal(crashRound, 1)
+	if err != nil {
+		return nil, fmt.Errorf("sim: stale seal: %w", err)
+	}
+	refuse(staleSeal, service.ErrSealMismatch, "stale pre-re-home seal")
+	ownSeal, err := own.seal(crashRound, 2)
+	if err != nil {
+		return nil, fmt.Errorf("sim: owner seal: %w", err)
+	}
+	refuse(flipLastByte(ownSeal), service.ErrSealSignature, "flipped-signature seal")
+	advKey, err := xcrypto.NewSigningKey()
+	if err != nil {
+		return nil, err
+	}
+	overlap, err := resignSeal(fbSeal, 99, advKey, tee.Measurement{0x99})
+	if err != nil {
+		return nil, err
+	}
+	refuse(overlap, service.ErrSealOverlap, "adversarial seal claiming absorbed coverage")
+	refuse(fbSeal, service.ErrSealReplay, "replayed partial seal")
+	if _, err := hub.MergePartialSeal(ownSeal); err != nil {
+		rep.violate("coordinator refused the recovered owner's seal: %v", err)
+	}
+	late, err := resignSeal(ownSeal, 77, advKey, tee.Measurement{0x77})
+	if err != nil {
+		return nil, err
+	}
+	refuse(late, service.ErrMergeComplete, "late seal after completion")
+	bookMerge(crashRound, 2)
+
+	// ----- Partition round: the owner is cut off from its clients after
+	// accepting a third of the cohort; the rest fail over to the ring
+	// successor. The partition heals and both sides seal — nothing was
+	// lost, nothing doubled.
+	partRound := crashRound + 1
+	owner = ring.Owner(svcKey, partRound)
+	rep.Owner[partRound] = owner
+	shrunk, err = ring.Without(owner)
+	if err != nil {
+		return nil, err
+	}
+	own, fallback = nodes[owner], nodes[shrunk.Owner(svcKey, partRound)]
+	raws, err = cohortRaws(partRound)
+	if err != nil {
+		return nil, err
+	}
+	third := cfg.Devices / 3
+	for i := 0; i < third; i++ {
+		if err := own.reg.Ingest(raws[i]); err != nil {
+			rep.violate("partition round device %d refused at owner: %v", i, err)
+		}
+	}
+	for i := third; i < cfg.Devices; i++ {
+		if err := fallback.reg.Ingest(raws[i]); err != nil {
+			rep.violate("partition round device %d refused at fallback: %v", i, err)
+		}
+	}
+	for _, n := range []*fleetNode{own, fallback} {
+		seal, err := n.seal(partRound, 2)
+		if err != nil {
+			return nil, fmt.Errorf("sim: partition seal node %d: %w", n.id, err)
+		}
+		if _, err := hub.MergePartialSeal(seal); err != nil {
+			rep.violate("partition round: coordinator refused node %d: %v", n.id, err)
+		}
+	}
+	bookMerge(partRound, 0)
+
+	// ----- Double-submit round: a client's ack is lost and it retries
+	// the same contribution against a different node. Both nodes accept
+	// (dedup state is per-node), but the second partial re-claims a
+	// digest the first already covers — the coordinator refuses it
+	// wholesale, so the contribution can never be double-counted.
+	dupRound := partRound + 1
+	owner = ring.Owner(svcKey, dupRound)
+	rep.Owner[dupRound] = owner
+	shrunk, err = ring.Without(owner)
+	if err != nil {
+		return nil, err
+	}
+	own, fallback = nodes[owner], nodes[shrunk.Owner(svcKey, dupRound)]
+	raws, err = cohortRaws(dupRound)
+	if err != nil {
+		return nil, err
+	}
+	for i, raw := range raws {
+		if err := own.reg.Ingest(raw); err != nil {
+			rep.violate("double-submit round device %d refused: %v", i, err)
+		}
+	}
+	if err := fallback.reg.Ingest(raws[0]); err != nil {
+		rep.violate("retry at fallback refused: %v (per-node dedup should accept it)", err)
+	}
+	ownSeal, err = own.seal(dupRound, 2)
+	if err != nil {
+		return nil, fmt.Errorf("sim: double-submit owner seal: %w", err)
+	}
+	if _, err := hub.MergePartialSeal(ownSeal); err != nil {
+		rep.violate("double-submit round: coordinator refused the owner: %v", err)
+	}
+	fbSeal, err = fallback.seal(dupRound, 2)
+	if err != nil {
+		return nil, fmt.Errorf("sim: double-submit fallback seal: %w", err)
+	}
+	if _, merr := hub.MergePartialSeal(fbSeal); errors.Is(merr, service.ErrSealOverlap) {
+		rep.DoubleSubmitCaught = true
+	} else {
+		rep.violate("cross-node double submit returned %v, want ErrSealOverlap", merr)
+	}
+	expectRefused++
+	if m, ok := hub.Lookup(fleetSimService, dupRound); !ok {
+		rep.violate("double-submit round: no merge materialized")
+	} else {
+		if m.Complete() {
+			rep.violate("double-submit round completed despite the overlap")
+		}
+		if res := m.Result(); res.Merged != 1 || res.Count != uint64(cfg.Devices) {
+			rep.violate("double-submit round disturbed by the refusal: %+v", res)
+		}
+		// The incomplete merge still holds the owner's exact partial.
+		rep.SumDigests[dupRound] = m.Sum().Digest()
+	}
+
+	// ----- Global reconciliation: every refusal anywhere in the fleet is
+	// accounted for exactly once, and nothing else was refused.
+	var mergedRejected, refusedTotal uint64
+	for round := uint64(1); round <= cfg.rounds(); round++ {
+		m, ok := hub.Lookup(fleetSimService, round)
+		if !ok {
+			continue
+		}
+		res := m.Result()
+		mergedRejected += res.Rejected
+		refusedTotal += res.Refused
+	}
+	rep.RejectedTotal = mergedRejected
+	rep.RefusedSeals = refusedTotal
+	if mergedRejected != injectedRejects {
+		rep.violate("merged rejection accounting = %d, injected probes = %d", mergedRejected, injectedRejects)
+	}
+	if refusedTotal != expectRefused {
+		rep.violate("coordinator refused %d seals, probes sent %d", refusedTotal, expectRefused)
+	}
+	for id, n := range nodes {
+		if got := n.manager.Rejected(); got != 0 {
+			rep.violate("node %d manager rejected = %d, want 0", id, got)
+		}
+		if got := n.reg.Rejected(); got != 0 {
+			rep.violate("node %d registry rejected = %d, want 0", id, got)
+		}
+	}
+	if want := uint64(cfg.Devices) * uint64(cfg.CleanRounds+2); rep.MergedContribs != want {
+		rep.violate("merged contributions = %d, want %d", rep.MergedContribs, want)
+	}
+	return rep, nil
+}

@@ -109,3 +109,69 @@ func FuzzReader(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodePartialSeal feeds attacker-controlled bytes to the merge-plane
+// decoders. A coordinator parses partial seals from the network before any
+// signature check, so the decoder must never panic, must bound every
+// allocation by the input length, and must enforce the canonical digest
+// form (count agreement, strict ascending order) structurally. On success
+// the encoding must be canonical: re-encoding reproduces the input byte
+// for byte. The merge-result decoder rides along — nodes parse it out of
+// the coordinator's reply frame.
+func FuzzDecodePartialSeal(f *testing.F) {
+	seal := goldenPartialSeal()
+	f.Add(EncodePartialSeal(seal))
+	// Empty partial: legal shape with zero digests.
+	f.Add(EncodePartialSeal(PartialSeal{
+		Service:     "iot.example",
+		ShardCount:  2,
+		Measurement: make([]byte, MeasurementLen),
+		Sum:         make([]uint64, 4),
+	}))
+	// Hostile shapes: truncated seal, trailing junk, count/digest
+	// disagreement, descending digests, short measurement, huge length
+	// prefix (allocation amplification), and a bit-flipped signature byte
+	// whose decode still succeeds (only the verifier refuses it).
+	f.Add(EncodePartialSeal(seal)[:20])
+	f.Add(append(EncodePartialSeal(seal), 0x00))
+	lying := seal
+	lying.Count = 99
+	f.Add(EncodePartialSeal(lying))
+	descending := seal
+	descending.Digests = append(
+		bytes.Repeat([]byte{0x0B}, SealDigestLen),
+		bytes.Repeat([]byte{0x0A}, SealDigestLen)...)
+	f.Add(EncodePartialSeal(descending))
+	shortMeas := seal
+	shortMeas.Measurement = shortMeas.Measurement[:4]
+	f.Add(EncodePartialSeal(shortMeas))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	flipped := EncodePartialSeal(seal)
+	flipped[len(flipped)-1] ^= 0x80
+	f.Add(flipped)
+	f.Add(EncodeMergeResult(goldenMergeResult()))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if s, err := DecodePartialSeal(data); err == nil {
+			if re := EncodePartialSeal(s); !bytes.Equal(re, data) {
+				t.Fatalf("seal decode/encode not canonical:\n in: %x\nout: %x", data, re)
+			}
+			if uint64(s.DigestCount()) != s.Count {
+				t.Fatalf("decoder passed count %d with %d digests", s.Count, s.DigestCount())
+			}
+			for i := 1; i < s.DigestCount(); i++ {
+				prev, cur := s.DigestAt(i-1), s.DigestAt(i)
+				if bytes.Compare(prev[:], cur[:]) >= 0 {
+					t.Fatalf("decoder passed non-canonical digest order at %d", i)
+				}
+			}
+			if len(s.SignedBytes()) == 0 {
+				t.Fatal("empty signing preimage for a decodable seal")
+			}
+		}
+		if m, err := DecodeMergeResult(data); err == nil {
+			if re := EncodeMergeResult(m); !bytes.Equal(re, data) {
+				t.Fatalf("merge result decode/encode not canonical:\n in: %x\nout: %x", data, re)
+			}
+		}
+	})
+}
