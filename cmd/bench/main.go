@@ -47,6 +47,7 @@ import (
 	"testing"
 	"time"
 
+	"glimmers/internal/durable"
 	"glimmers/internal/fixed"
 	"glimmers/internal/gaas"
 	"glimmers/internal/glimmer"
@@ -669,6 +670,27 @@ func suite(sz sizes) []benchEntry {
 			return fromBench(benchTicketedBatchIngest(sz, serviceName, runtime.GOMAXPROCS(0), 0))
 		}},
 
+		// Gated: ingest_ticketed_batch with a live WAL journal attached —
+		// the group-commit acceptance figure. The hot path pays one pooled
+		// record encode plus a staging append per frame; the disk writes
+		// happen on the background flusher's clock. Compare ns_per_op
+		// against ingest_ticketed_batch: the gap is the full durability tax
+		// on the ingest path, and the design target is single-digit
+		// percent. The per-op allocations (the journaled digest list and
+		// delta vector) are deterministic, so the entry is gated.
+		{name: "ingest_durable_batch", allocGated: true, run: func() result {
+			return fromBench(benchDurableBatchIngest(sz, serviceName, 1, 1))
+		}},
+
+		// Gated: the journal append path in isolation — one op stages one
+		// BatchAccepted record (pooled encoder, CRC frame, staging append)
+		// with no pipeline in front. records_per_write is the group-commit
+		// coalescing ratio the run achieved; the write path's contract is
+		// that it stays well above 10.
+		{name: "wal_append", allocGated: true, run: func() result {
+			return fromBench(benchWALAppend(sz, serviceName))
+		}},
+
 		{name: "submit_batch_inproc", run: func() result {
 			batches := batchesByRound(sz, serviceName, key)
 			newMgr := func() *service.RoundManager {
@@ -897,6 +919,120 @@ func benchTicketedBatchIngest(sz sizes, serviceName string, workers, shards int)
 		}
 		b.StopTimer()
 		p.Close()
+		b.ReportMetric(float64(b.N*sz.batchItems)/b.Elapsed().Seconds(), "contrib_per_sec")
+	})
+}
+
+// benchStore opens a WAL store on a throwaway dir, recovered against a
+// minimal one-tenant registry (the store requires a recovered registry
+// before it journals). The caller owns Close; the dir cleanup fn is
+// returned alongside.
+func benchStore(sz sizes, serviceName string) (*durable.Store, func()) {
+	dir, err := os.MkdirTemp("", "glimmers-bench-wal-")
+	if err != nil {
+		fatal(err)
+	}
+	reg := service.NewRegistry(8)
+	if _, err := reg.AddTenant(service.TenantConfig{Name: serviceName, Dim: sz.dim, Workers: 1}); err != nil {
+		fatal(err)
+	}
+	store, err := durable.Open(dir)
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := store.Recover(reg); err != nil {
+		fatal(err)
+	}
+	return store, func() { os.RemoveAll(dir) }
+}
+
+// benchWALAppend measures the journal hot path alone: one op is one
+// BatchAccepted record of batchItems digests staged into the
+// group-commit buffer. The background flusher (default tuning) drains on
+// its own clock; records_per_write is the coalescing ratio the run
+// achieved end to end.
+func benchWALAppend(sz sizes, serviceName string) testing.BenchmarkResult {
+	digests := make([][32]byte, sz.batchItems)
+	for i := range digests {
+		digests[i][0], digests[i][1], digests[i][2] = byte(i), byte(i>>8), byte(i>>16)
+	}
+	delta := make(fixed.Vector, sz.dim)
+	for j := range delta {
+		delta[j] = fixed.Ring(uint64(j) * 7)
+	}
+	return testing.Benchmark(func(b *testing.B) {
+		store, cleanup := benchStore(sz, serviceName)
+		defer cleanup()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			store.BatchAccepted(serviceName, 1, digests, delta)
+		}
+		b.StopTimer()
+		if err := store.Flush(); err != nil {
+			fatal(err)
+		}
+		st := store.Stats()
+		if err := store.Close(); err != nil {
+			fatal(err)
+		}
+		if st.Writes > 0 {
+			b.ReportMetric(float64(st.Records)/float64(st.Writes), "records_per_write")
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records_per_sec")
+	})
+}
+
+// benchDurableBatchIngest is benchTicketedBatchIngest with a live WAL
+// journal attached via PipelineConfig.Journal: the same warm-pipeline
+// AddBatchErrs steady state, now journaling one BatchAccepted record per
+// frame through the group-commit path. Divide against
+// ingest_ticketed_batch for the durability tax.
+func benchDurableBatchIngest(sz sizes, serviceName string, workers, shards int) testing.BenchmarkResult {
+	tbl := service.NewTicketTable(service.TicketConfig{})
+	raws := makeTicketedRaws(sz.cohort, sz.dim, 7, serviceName, tbl)
+	var batches [][][]byte
+	for lo := 0; lo+sz.batchItems <= len(raws); lo += sz.batchItems {
+		batches = append(batches, raws[lo:lo+sz.batchItems])
+	}
+	errs := make([]error, sz.batchItems)
+	return testing.Benchmark(func(b *testing.B) {
+		store, cleanup := benchStore(sz, serviceName)
+		defer cleanup()
+		newPipe := func() *service.Pipeline {
+			return service.NewPipeline(service.PipelineConfig{
+				ServiceName:    serviceName,
+				Dim:            sz.dim,
+				Round:          7,
+				Tickets:        tbl,
+				Workers:        workers,
+				Shards:         shards,
+				ExpectedCohort: sz.cohort,
+				Journal:        store,
+			})
+		}
+		p := newPipe()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%len(batches) == 0 && i > 0 {
+				b.StopTimer()
+				p.Close()
+				p = newPipe()
+				b.StartTimer()
+			}
+			p.AddBatchErrs(batches[i%len(batches)], errs)
+			for _, err := range errs {
+				if err != nil {
+					fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		p.Close()
+		if err := store.Close(); err != nil {
+			fatal(err)
+		}
 		b.ReportMetric(float64(b.N*sz.batchItems)/b.Elapsed().Seconds(), "contrib_per_sec")
 	})
 }

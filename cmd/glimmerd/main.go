@@ -198,6 +198,10 @@ func main() {
 		"session-ticket lifetime in seconds (0 disables the MAC fast path)")
 	stateDir := flag.String("state-dir", "",
 		"durable state directory: recover snapshot+WAL on start, snapshot on shutdown (empty disables)")
+	walFlushBytes := flag.Int("wal-flush-bytes", durable.DefaultFlushBytes,
+		"WAL group-commit: staged bytes that trigger an early flush (4x this applies ingest backpressure)")
+	walFlushInterval := flag.Duration("wal-flush-interval", durable.DefaultFlushInterval,
+		"WAL group-commit: max time an async record stays staged — the crash-loss window for unsealed accepts")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute,
 		"reap connections idle longer than this (0 disables)")
 	readTimeout := flag.Duration("read-timeout", 30*time.Second,
@@ -243,6 +247,8 @@ func main() {
 		log.Fatalf("glimmerd: timeouts must be non-negative")
 	case *maxConns < 0 || *maxConnsPerIP < 0 || *maxInflight < 0:
 		log.Fatalf("glimmerd: connection and batch caps must be non-negative")
+	case *walFlushBytes <= 0 || *walFlushInterval <= 0:
+		log.Fatal("glimmerd: -wal-flush-bytes and -wal-flush-interval must be positive")
 	case *tlsSelfSigned && (*tlsCert != "" || *tlsKey != ""):
 		log.Fatal("glimmerd: -tls-self-signed and -tls-cert/-tls-key are mutually exclusive")
 	case (*tlsCert == "") != (*tlsKey == ""):
@@ -297,7 +303,10 @@ func main() {
 	// snapshot events go to <state-dir>/audit.log.
 	var store *durable.Store
 	if *stateDir != "" {
-		store, err = durable.Open(*stateDir)
+		store, err = durable.OpenConfig(*stateDir, durable.Config{
+			FlushBytes:    *walFlushBytes,
+			FlushInterval: *walFlushInterval,
+		})
 		if err != nil {
 			log.Fatalf("state dir: %v", err)
 		}
@@ -461,6 +470,13 @@ func main() {
 			fleetRole(uint32(*nodeID), hub != nil), fs.PartialsSent, fs.PartialsReceived, fs.PartialsRefused, fs.ForwardedBatches)
 	}
 	if store != nil {
+		ws := store.Stats()
+		coalesce := float64(ws.Records)
+		if ws.Writes > 0 {
+			coalesce = float64(ws.Records) / float64(ws.Writes)
+		}
+		fmt.Printf("glimmerd: wal: records=%d writes=%d (%.1f rec/write) bytes=%d syncs=%d barrier_waits=%d staged_peak=%dB\n",
+			ws.Records, ws.Writes, coalesce, ws.BytesWritten, ws.Syncs, ws.BarrierWaits, ws.StagedPeak)
 		// Ingest is quiesced (listener closed, handlers drained, rounds
 		// sealed by the report), so the image is consistent by contract.
 		if err := store.Snapshot(registry); err != nil {

@@ -211,19 +211,48 @@ func encodeRound(w *wire.Writer, kind byte, tenant string, round uint64) {
 	w.Uint64(round)
 }
 
+// The accepted/dropout encoders stream their nested digest/lane fields
+// straight into the writer (BytesPrefix + Raw — both field lengths are
+// known up front), so the hot journal path renders records in one pass
+// with no staging copy and no allocation. The bytes produced are
+// identical to framing a pre-staged block with Bytes.
+
+// lanesField appends a vector as one framed field of raw big-endian
+// lanes — byte-identical to w.Bytes(v.AppendWire(nil)).
+func lanesField(w *wire.Writer, v fixed.Vector) {
+	w.BytesPrefix(len(v) * 8)
+	for _, r := range v {
+		w.Uint64(uint64(r))
+	}
+}
+
 func encodeAccepted(w *wire.Writer, tenant string, round uint64, digests [][32]byte, delta fixed.Vector) {
 	w.Byte(recAccepted)
 	w.String(tenant)
 	w.Uint64(round)
-	w.Bytes(appendDigests(nil, digests))
-	w.Bytes(delta.AppendWire(nil))
+	w.BytesPrefix(len(digests) * digestLen)
+	for i := range digests {
+		w.Raw(digests[i][:])
+	}
+	lanesField(w, delta)
+}
+
+// encodeAcceptedOne is encodeAccepted for the single-contribution hook:
+// same record kind and bytes, without materializing a one-element digest
+// slice.
+func encodeAcceptedOne(w *wire.Writer, tenant string, round uint64, digest [32]byte, blinded fixed.Vector) {
+	w.Byte(recAccepted)
+	w.String(tenant)
+	w.Uint64(round)
+	w.Bytes(digest[:])
+	lanesField(w, blinded)
 }
 
 func encodeDropout(w *wire.Writer, tenant string, round uint64, mask fixed.Vector) {
 	w.Byte(recDropoutCorrected)
 	w.String(tenant)
 	w.Uint64(round)
-	w.Bytes(mask.AppendWire(nil))
+	lanesField(w, mask)
 }
 
 func encodeRejected(w *wire.Writer, tenant string, round uint64, level service.RejectLevel, n int) {

@@ -11,7 +11,6 @@ import (
 	"glimmers/internal/audit"
 	"glimmers/internal/fixed"
 	"glimmers/internal/service"
-	"glimmers/internal/wire"
 )
 
 // Store owns one state directory:
@@ -23,23 +22,59 @@ import (
 // Recover loads snapshot + WAL into a registry and attaches the store as
 // the registry's journal; Snapshot rotates: new image, new WAL
 // generation, old generation deleted. Store implements service.Journal —
-// every mutation the service layer reports becomes one appended record.
+// every mutation the service layer reports becomes one appended record,
+// staged and group-committed by a background flusher (see
+// groupcommit.go).
 //
-// Concurrency: the journal side is safe for concurrent use (one mutex
-// serializes appends). Recover and Snapshot require quiesced ingest —
-// a mutation concurrent with the export would land in both the snapshot
-// and the next WAL generation and double-apply on the next recovery.
-// glimmerd snapshots after draining its listener; the sim between waves.
+// Durability classes: RoundSealed, RoundClosed, and TicketGranted are
+// barriers — the call returns only after the record is written and
+// fsynced. Every other journal hook is fire-and-forget: staged in
+// memory and flushed within Config.FlushBytes/FlushInterval, so a crash
+// can lose that bounded tail (recovery restores the exact flushed
+// prefix; see internal/sim.RunCrashRecovery).
+//
+// Concurrency: the journal side is safe for concurrent use. Recover and
+// Snapshot require quiesced ingest — a mutation concurrent with the
+// export would land in both the snapshot and the next WAL generation
+// and double-apply on the next recovery. glimmerd snapshots after
+// draining its listener; the sim between waves.
 type Store struct {
 	dir string
+	cfg Config
+	// maxRetained caps the capacity a recycled staging segment may keep
+	// (4x the flush threshold, floored): one giant record or a burst
+	// must not pin its high-water allocation for the store's lifetime.
+	maxRetained int
 
-	mu  sync.Mutex
-	f   *os.File
-	gen uint64
-	enc *wire.Writer
-	buf []byte // frame scratch
-	err error  // first append failure; surfaced on Snapshot/Close
+	mu     sync.Mutex
+	synced *sync.Cond // broadcast when syncedSeq advances or the WAL dies
+	f      *os.File
+	gen    uint64
+	err    error // first write-path failure; sticky, audited immediately
 
+	// ioMu serializes disk I/O (flushes, the close drain, the snapshot
+	// rotation) so s.mu is never held across a syscall.
+	ioMu sync.Mutex
+
+	// Double-buffered staging: journal calls append frames to staged;
+	// the flusher swaps staged with spare and writes the whole segment.
+	staged []byte
+	spare  []byte
+	// Record sequence numbers: seq counts staged records, flushedSeq the
+	// prefix that reached write(2), syncedSeq the prefix known durable.
+	// wantSync is the highest barrier still waiting for an fsync.
+	seq        uint64
+	flushedSeq uint64
+	syncedSeq  uint64
+	wantSync   uint64
+
+	// Background flusher lifecycle (see groupcommit.go).
+	flusherOn bool
+	kick      chan struct{}
+	stop      chan struct{}
+	done      chan struct{}
+
+	stats    Stats
 	auditLog *audit.Log
 }
 
@@ -52,17 +87,30 @@ type RecoverStats struct {
 	ReplayErrors   int   // records naming state the registry no longer has
 }
 
-// Open creates or opens a state directory. No files are read until
-// Recover.
-func Open(dir string) (*Store, error) {
+// Open creates or opens a state directory with default group-commit
+// tuning. No files are read until Recover.
+func Open(dir string) (*Store, error) { return OpenConfig(dir, Config{}) }
+
+// OpenConfig is Open with explicit group-commit tuning (glimmerd's
+// -wal-flush-bytes / -wal-flush-interval flags).
+func OpenConfig(dir string, cfg Config) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("durable: %w", err)
 	}
-	return &Store{dir: dir, gen: 1, enc: wire.NewWriter()}, nil
+	cfg = cfg.withDefaults()
+	s := &Store{
+		dir:         dir,
+		cfg:         cfg,
+		maxRetained: max(4*cfg.FlushBytes, maxRetainedStagingFloor),
+		gen:         1,
+		kick:        make(chan struct{}, 1),
+	}
+	s.synced = sync.NewCond(&s.mu)
+	return s, nil
 }
 
-// SetAudit routes recovery and snapshot events to an audit log. Set
-// before Recover.
+// SetAudit routes recovery, snapshot, and WAL-failure events to an audit
+// log. Set before Recover.
 func (s *Store) SetAudit(l *audit.Log) { s.auditLog = l }
 
 func (s *Store) audit(event, format string, args ...any) {
@@ -77,10 +125,10 @@ func (s *Store) walPath(gen uint64) string {
 }
 
 // Recover loads the snapshot (if any) and replays the WAL into reg,
-// truncates any torn tail, opens the WAL for appending, and attaches the
-// store as reg's journal. The registry must already hold its tenants
-// (same configs as when the state was exported) and must not yet be
-// serving traffic.
+// truncates any torn tail, opens the WAL for appending, starts the
+// background flusher, and attaches the store as reg's journal. The
+// registry must already hold its tenants (same configs as when the
+// state was exported) and must not yet be serving traffic.
 func (s *Store) Recover(reg *service.Registry) (RecoverStats, error) {
 	var stats RecoverStats
 
@@ -152,19 +200,29 @@ func (s *Store) Recover(reg *service.Registry) (RecoverStats, error) {
 	s.mu.Lock()
 	s.f = f
 	s.mu.Unlock()
+	s.startFlusher()
 	s.removeOldGenerations()
 	reg.SetJournal(s)
 	return stats, nil
 }
 
 // Snapshot writes a fresh registry image and rotates the WAL. Requires
-// quiesced ingest (see the type comment). Any append error since the
-// last snapshot surfaces here.
+// quiesced ingest (see the type comment). Any write-path error since the
+// last snapshot surfaces here. Records still staged when the rotation
+// happens are simply discarded: the mutations they describe happened
+// before the export, so the image already contains them.
 func (s *Store) Snapshot(reg *service.Registry) error {
 	// Export outside s.mu: the export takes service locks, and journal
 	// appends (which hold s.mu) happen under some of them.
 	st := reg.ExportState()
 
+	// Runs after the unlocks below: a store that was never Recovered
+	// (or whose flusher died with the old file) still ends up with a
+	// live flusher for the new generation.
+	defer s.startFlusher()
+
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.err != nil {
@@ -207,6 +265,14 @@ func (s *Store) Snapshot(reg *service.Registry) error {
 	s.f = nf
 	prev := s.gen
 	s.gen = next
+	// Superseded by the image: drop the staged tail and settle every
+	// sequence watermark so no barrier can wait on pre-rotation records.
+	s.staged = s.staged[:0]
+	if cap(s.staged) > s.maxRetained {
+		s.staged = nil
+	}
+	s.flushedSeq, s.syncedSeq = s.seq, s.seq
+	s.synced.Broadcast()
 	os.Remove(s.walPath(prev))
 	s.audit("snapshot-taken", "generation=%d tenants=%d bytes=%d", next, len(st.Tenants), len(data))
 	return nil
@@ -232,87 +298,127 @@ func (s *Store) removeOldGenerations() {
 	}
 }
 
-// Err reports the first append failure, if any.
+// Err reports the first write-path failure, if any.
 func (s *Store) Err() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.err
 }
 
-// Close syncs and closes the WAL. The store must not be attached as a
-// journal of a registry still serving traffic.
+// Close drains the staged records, syncs, and closes the WAL. The store
+// must not be attached as a journal of a registry still serving traffic.
 func (s *Store) Close() error {
+	s.stopFlusher()
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.f == nil {
 		return s.err
 	}
-	err := s.f.Sync()
+	var err error
+	if s.err == nil && len(s.staged) > 0 {
+		if _, werr := s.f.Write(s.staged); werr != nil {
+			err = werr
+		} else {
+			s.stats.Writes++
+			s.stats.BytesWritten += uint64(len(s.staged))
+		}
+		s.staged = s.staged[:0]
+	}
+	if err == nil {
+		if serr := s.f.Sync(); serr != nil {
+			err = serr
+		} else if s.err == nil {
+			s.stats.Syncs++
+		}
+	}
 	if cerr := s.f.Close(); err == nil {
 		err = cerr
 	}
 	s.f = nil
+	s.flushedSeq, s.syncedSeq = s.seq, s.seq
+	s.synced.Broadcast()
 	if s.err == nil && err != nil {
 		s.err = fmt.Errorf("durable: %w", err)
 	}
 	return s.err
 }
 
-// append frames and writes one record under s.mu. Failures are sticky
-// and surfaced on Snapshot/Close — the serving path must not start
-// returning errors to clients because the disk filled.
-func (s *Store) append(build func(w *wire.Writer)) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.f == nil || s.err != nil {
-		return
-	}
-	s.enc.Reset()
-	build(s.enc)
-	s.buf = appendFrame(s.buf[:0], s.enc.Finish())
-	if _, err := s.f.Write(s.buf); err != nil {
-		s.err = fmt.Errorf("durable: WAL append: %w", err)
-	}
-}
-
 // Store implements service.Journal: one appended record per mutation.
+// Barrier records (sealed/closed/ticket-granted) return only once
+// durable; the rest are staged fire-and-forget.
 
 func (s *Store) RoundCreated(tenant string, round uint64) {
-	s.append(func(w *wire.Writer) { encodeRound(w, recRoundCreated, tenant, round) })
+	// Journaled under the round manager's lock (round admission), so it
+	// must stay async — and it can: a lost RoundCreated only loses the
+	// (empty) round it created, which recovery treats as never admitted.
+	e := getEncoder()
+	encodeRound(e.w, recRoundCreated, tenant, round)
+	s.stage(false, e)
 }
 
 func (s *Store) RoundSealed(tenant string, round uint64) {
-	s.append(func(w *wire.Writer) { encodeRound(w, recRoundSealed, tenant, round) })
+	// Barrier: the fleet plane ships partial seals and operators read
+	// sealed sums the moment Seal returns, so the seal record — and,
+	// because staging preserves order, every accept record before it —
+	// must be durable first.
+	e := getEncoder()
+	encodeRound(e.w, recRoundSealed, tenant, round)
+	s.stage(true, e)
 }
 
 func (s *Store) RoundClosed(tenant string, round uint64) {
-	s.append(func(w *wire.Writer) { encodeRound(w, recRoundClosed, tenant, round) })
+	// Barrier: a closed round's sum has been consumed downstream.
+	e := getEncoder()
+	encodeRound(e.w, recRoundClosed, tenant, round)
+	s.stage(true, e)
 }
 
 func (s *Store) RoundForgotten(tenant string, round uint64) {
-	s.append(func(w *wire.Writer) { encodeRound(w, recRoundForgotten, tenant, round) })
+	// Journaled under the manager's lock on the eviction path: async.
+	e := getEncoder()
+	encodeRound(e.w, recRoundForgotten, tenant, round)
+	s.stage(false, e)
 }
 
 func (s *Store) Accepted(tenant string, round uint64, digest [32]byte, blinded fixed.Vector) {
-	s.append(func(w *wire.Writer) { encodeAccepted(w, tenant, round, [][32]byte{digest}, blinded) })
+	e := getEncoder()
+	encodeAcceptedOne(e.w, tenant, round, digest, blinded)
+	s.stage(false, e)
 }
 
 func (s *Store) BatchAccepted(tenant string, round uint64, digests [][32]byte, delta fixed.Vector) {
-	s.append(func(w *wire.Writer) { encodeAccepted(w, tenant, round, digests, delta) })
+	e := getEncoder()
+	encodeAccepted(e.w, tenant, round, digests, delta)
+	s.stage(false, e)
 }
 
 func (s *Store) DropoutCorrected(tenant string, round uint64, mask fixed.Vector) {
-	s.append(func(w *wire.Writer) { encodeDropout(w, tenant, round, mask) })
+	e := getEncoder()
+	encodeDropout(e.w, tenant, round, mask)
+	s.stage(false, e)
 }
 
 func (s *Store) Rejected(tenant string, round uint64, level service.RejectLevel, n int) {
-	s.append(func(w *wire.Writer) { encodeRejected(w, tenant, round, level, n) })
+	e := getEncoder()
+	encodeRejected(e.w, tenant, round, level, n)
+	s.stage(false, e)
 }
 
 func (s *Store) TicketGranted(tenant string, tk service.TicketState) {
-	s.append(func(w *wire.Writer) { encodeTicketGranted(w, tenant, tk) })
+	// Barrier: the grant reply hands the device a session key; if the
+	// record were lost, every post-restart contribution under that
+	// ticket would be refused and the device forced back through the
+	// asymmetric exchange — the thundering herd durability exists to
+	// prevent.
+	e := getEncoder()
+	encodeTicketGranted(e.w, tenant, tk)
+	s.stage(true, e)
 }
 
 func (s *Store) TicketEvicted(tenant string, id uint64) {
-	s.append(func(w *wire.Writer) { encodeTicketEvicted(w, tenant, id) })
+	e := getEncoder()
+	encodeTicketEvicted(e.w, tenant, id)
+	s.stage(false, e)
 }

@@ -66,6 +66,12 @@ type ingestArena struct {
 	counts []int32 // counting sort: per-shard item counts, then offsets
 	starts []int32 // counting sort: per-shard segment starts
 	order  []int32 // item indices, stably grouped by shard
+
+	// Journal scratch: the frame's accepted-digest list and summed delta,
+	// handed to Journal.BatchAccepted (which must not retain them — the
+	// same contract the arena itself rides on).
+	jdigests [][32]byte
+	jdelta   fixed.Vector
 }
 
 var arenaPool = sync.Pool{New: func() any { return new(ingestArena) }}
@@ -295,13 +301,20 @@ func (p *Pipeline) processBatch(raws [][]byte, errs []error) {
 	}
 
 	// One watermark record for the whole frame, journaled outside every
-	// shard lock while the arena's views are still alive. The allocations
-	// here are fine: they happen only when a journal is attached.
+	// shard lock while the arena's views are still alive. The digest list
+	// and delta live in the arena: the journal encodes synchronously and
+	// must not retain them, so the scratch recycles with the arena.
 	if j := p.journal; j != nil {
 		accepted := live - dups
 		if accepted > 0 {
-			digests := make([][32]byte, 0, accepted)
-			delta := fixed.NewVector(p.cfg.Dim)
+			digests := a.jdigests[:0]
+			if len(a.jdelta) != p.cfg.Dim {
+				a.jdelta = fixed.NewVector(p.cfg.Dim)
+			}
+			delta := a.jdelta
+			for i := range delta {
+				delta[i] = 0
+			}
 			for i := range a.items {
 				it := &a.items[i]
 				if it.ok && errs[it.idx] == nil {
@@ -309,6 +322,7 @@ func (p *Pipeline) processBatch(raws [][]byte, errs []error) {
 					fixed.AccumulateWireInto(delta, it.view.LaneBytes)
 				}
 			}
+			a.jdigests = digests
 			j.BatchAccepted(p.cfg.ServiceName, p.cfg.Round, digests, delta)
 		}
 		if dups > 0 {

@@ -79,6 +79,12 @@ type PipelineConfig struct {
 	// dedup insert. Ingest beyond the expectation still works; the maps
 	// grow as usual.
 	ExpectedCohort int
+	// Journal, when non-nil, receives every durable mutation (see the
+	// Journal interface in state.go for the barrier contract). Registry
+	// tenants get theirs via Registry.SetJournal, which overrides this;
+	// the field exists so bare pipelines and round managers — tests,
+	// benchmarks, embedded uses without a Registry — can journal too.
+	Journal Journal
 }
 
 // pipeShard is one lock's worth of aggregation state. Contributions are
@@ -163,6 +169,7 @@ func NewPipeline(cfg PipelineConfig) *Pipeline {
 		shardMask: uint64(cfg.Shards - 1),
 		shards:    make([]*pipeShard, cfg.Shards),
 		allowed:   make(map[tee.Measurement]bool),
+		journal:   cfg.Journal,
 	}
 	// Digest sharding spreads contributions binomially, not evenly, so
 	// each shard gets 25% headroom plus a constant over the even split —

@@ -91,9 +91,10 @@ type RoundManager struct {
 // (cfg.Round is ignored; each round gets its own).
 func NewRoundManager(cfg PipelineConfig) *RoundManager {
 	return &RoundManager{
-		cfg:    cfg,
-		rounds: make(map[uint64]*Pipeline),
-		vetted: make(map[tee.Measurement]bool),
+		cfg:     cfg,
+		rounds:  make(map[uint64]*Pipeline),
+		vetted:  make(map[tee.Measurement]bool),
+		journal: cfg.Journal,
 	}
 }
 

@@ -43,6 +43,17 @@ const (
 //
 // Calls are made outside shard locks on the hot path and must not retain
 // slice arguments (digests, vectors) past the call: encode synchronously.
+//
+// Durability contract: implementations may persist asynchronously, but
+// RoundSealed, RoundClosed, and TicketGranted are barriers — they must
+// not return until the record and everything journaled before it are
+// durable, because the caller publishes the state they describe the
+// moment the journal call returns (a sealed sum to operators and the
+// fleet plane, a session key to the device). The service layer keeps
+// those three hooks off its internal locks so an implementation can
+// block in them; the remaining hooks may be called under manager or
+// shard bookkeeping locks and must return quickly (RoundCreated and
+// RoundForgotten, in particular, fire under the round manager's lock).
 type Journal interface {
 	RoundCreated(tenant string, round uint64)
 	RoundSealed(tenant string, round uint64)

@@ -483,8 +483,13 @@ func RunFleet(stateDir string, cfg FleetConfig) (*FleetReport, error) {
 			rep.violate("crash round device %d refused pre-crash: %v", i, err)
 		}
 	}
-	if err := own.store.Err(); err != nil {
-		return nil, fmt.Errorf("sim: WAL append: %w", err)
+	// Pin the pre-crash accepts to disk: this scenario exercises crashed-
+	// owner re-homing with records that had reached the WAL, so the
+	// group-commit staging buffer is flushed before the kill. (The
+	// staged-and-lost window is the crash-recovery scenario's job; see
+	// RunCrashRecovery.)
+	if err := own.store.Flush(); err != nil {
+		return nil, fmt.Errorf("sim: WAL flush: %w", err)
 	}
 	// Kill: the registry and store are abandoned mid-write.
 	if err := tearWALTail(nodeDir(owner)); err != nil {

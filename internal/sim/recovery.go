@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync/atomic"
+	"time"
 
 	"glimmers/internal/blind"
 	"glimmers/internal/durable"
@@ -24,8 +25,7 @@ import (
 // round, the dedup digests, the session-ticket table — must come back
 // from snapshot + WAL.
 //
-// The scenario demands the three durability guarantees the store
-// advertises:
+// The scenario demands the durability guarantees the store advertises:
 //
 //   - exact sums: the restarted round seals to the exact sum of every
 //     honest contribution, pre- and post-crash (the full cohort's dealer
@@ -35,10 +35,19 @@ import (
 //     same counters a crash-free run would show;
 //   - no thundering herd: pre-crash session tickets still verify, so the
 //     fleet finishes the round on its MAC fast path without a single
-//     re-run of the grant exchange.
+//     re-run of the grant exchange;
+//   - flushed-prefix recovery: with the group-commit WAL, accept records
+//     still staged in memory when the process dies are lost — recovery
+//     restores exactly the flushed prefix, never a torn mix, and the
+//     affected devices simply re-send (their contributions were never
+//     acknowledged as durable);
+//   - seal-point barrier: the instant Seal returns, the seal record and
+//     every accept record before it are on disk — an observer recovering
+//     a byte-for-byte copy of the state directory taken right after the
+//     seal sees the full sealed round, never a partial seal.
 type CrashConfig struct {
 	Seed    int64
-	Devices int // full cohort; half contribute before the crash
+	Devices int // full cohort; half contribute (flushed) before the crash
 	Dim     int
 }
 
@@ -63,9 +72,20 @@ type CrashReport struct {
 	Round1Exact bool // sealed before the crash, restored from the snapshot
 	Round2Exact bool // split across the crash, sealed after recovery
 
+	// SealObserved reports that a byte-for-byte copy of the state dir,
+	// taken the instant Seal(1) returned (no flush, no snapshot, no clean
+	// close), recovered to the fully sealed round — the seal-point
+	// barrier held.
+	SealObserved bool
+
 	PreCrashAccepted int // round-2 contributions the first life accepted
-	FinalCount       int // round-2 cohort after the second life seals
-	TicketsRestored  int // live tickets in the restarted table
+	// StagedLost counts round-2 contributions that were accepted but
+	// still staged in the group-commit buffer (never flushed) at the
+	// kill — the documented loss window. Their devices, which never saw
+	// a durable acknowledgment, re-send after recovery.
+	StagedLost      int
+	FinalCount      int // round-2 cohort after the second life seals
+	TicketsRestored int // live tickets in the restarted table
 
 	// Violations lists every invariant break; empty means the scenario
 	// held end to end.
@@ -247,7 +267,11 @@ func RunCrashRecovery(stateDir string, cfg CrashConfig) (*CrashReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	storeA, err := durable.Open(stateDir)
+	// Huge thresholds: the background flusher never fires on its own, so
+	// the only disk writes come from barriers and explicit Flush calls —
+	// the scenario controls exactly which records are durable at the kill.
+	walCfg := durable.Config{FlushBytes: 1 << 30, FlushInterval: time.Hour}
+	storeA, err := durable.OpenConfig(stateDir, walCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -294,12 +318,64 @@ func RunCrashRecovery(stateDir string, cfg CrashConfig) (*CrashReport, error) {
 	} else {
 		rep.violate("round 1 vanished before the crash")
 	}
+
+	// Seal-point barrier: Seal(1) has returned, so the seal record — and,
+	// because staging preserves order, every accept record before it —
+	// must already be on disk, with no flush, snapshot, or clean close
+	// having helped. An observer recovering a byte-for-byte copy of the
+	// state directory taken at this instant (exactly what a crash right
+	// now would leave) must see the fully sealed round, never a partial
+	// seal.
+	obsDir := stateDir + ".seal-observer"
+	if err := copyDir(stateDir, obsDir); err != nil {
+		return nil, fmt.Errorf("sim: observer copy: %w", err)
+	}
+	defer os.RemoveAll(obsDir)
+	regObs, managerObs, err := w.buildRegistry()
+	if err != nil {
+		return nil, err
+	}
+	storeObs, err := durable.OpenConfig(obsDir, walCfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := storeObs.Recover(regObs); err != nil {
+		return nil, fmt.Errorf("sim: observer recovery: %w", err)
+	}
+	rep.SealObserved = true
+	if p, ok := managerObs.Lookup(1); !ok {
+		rep.SealObserved = false
+		rep.violate("observer copy lost round 1 after Seal returned")
+	} else if p.Count() != cfg.Devices || !vectorsEqual(p.Sum(), w.expectedSum(1)) {
+		rep.SealObserved = false
+		rep.violate("observer sees a partial round 1: count=%d, want %d with the exact sum", p.Count(), cfg.Devices)
+	}
+	sealedSeen := false
+	for _, tn := range regObs.ExportState().Tenants {
+		if tn.Name != crashServiceName {
+			continue
+		}
+		for _, rs := range tn.Rounds {
+			if rs.Round == 1 && rs.Phase == service.RoundPhaseSealed {
+				sealedSeen = true
+			}
+		}
+	}
+	if !sealedSeen {
+		rep.SealObserved = false
+		rep.violate("observer sees round 1 unsealed: the seal record was not durable when Seal returned")
+	}
+	if err := storeObs.Close(); err != nil {
+		return nil, fmt.Errorf("sim: observer close: %w", err)
+	}
+
 	if err := storeA.Snapshot(regA); err != nil {
 		return nil, fmt.Errorf("sim: snapshot: %w", err)
 	}
 
-	// Round 2: the first half of the cohort contributes, then the
-	// process dies — no seal, no clean close.
+	// Round 2, flushed prefix: the first half of the cohort contributes
+	// and the prefix is pinned to disk — these are the records recovery
+	// must restore.
 	preCrashRaws := make([][]byte, 0, half)
 	for i := 0; i < half; i++ {
 		raw, err := w.contribute(w.devices[i], 2, w.values[2][i])
@@ -311,12 +387,36 @@ func RunCrashRecovery(stateDir string, cfg CrashConfig) (*CrashReport, error) {
 		}
 		preCrashRaws = append(preCrashRaws, raw)
 	}
-	rep.PreCrashAccepted = half
+	if err := storeA.Flush(); err != nil {
+		return nil, fmt.Errorf("sim: WAL flush: %w", err)
+	}
+
+	// Staged and lost: the next contributions are accepted by the serving
+	// path but their records are still sitting in the group-commit
+	// staging buffer when the process dies — the documented
+	// fire-and-forget loss window. The process dies before any flush, so
+	// recovery must restore exactly the flushed prefix, and these devices
+	// (which never saw a durable acknowledgment) simply re-send.
+	stagedLost := min(2, cfg.Devices-half-1)
+	rep.StagedLost = stagedLost
+	stagedRaws := make([][]byte, 0, stagedLost)
+	for i := half; i < half+stagedLost; i++ {
+		raw, err := w.contribute(w.devices[i], 2, w.values[2][i])
+		if err != nil {
+			return nil, fmt.Errorf("sim: round 2 device %d: %w", i, err)
+		}
+		if err := regA.Ingest(raw); err != nil {
+			rep.violate("round 2 device %d refused pre-crash: %v", i, err)
+		}
+		stagedRaws = append(stagedRaws, raw)
+	}
+	rep.PreCrashAccepted = half + stagedLost
 	if err := storeA.Err(); err != nil {
 		return nil, fmt.Errorf("sim: WAL append: %w", err)
 	}
 	// Kill: regA and storeA are simply abandoned (the OS would reclaim
-	// the fd). The dying process's last write is torn mid-frame.
+	// the fd, taking the staged records with it). The dying process's
+	// last write is torn mid-frame.
 	if err := tearWALTail(stateDir); err != nil {
 		return nil, err
 	}
@@ -326,7 +426,7 @@ func RunCrashRecovery(stateDir string, cfg CrashConfig) (*CrashReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	storeB, err := durable.Open(stateDir)
+	storeB, err := durable.OpenConfig(stateDir, walCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -353,27 +453,29 @@ func RunCrashRecovery(stateDir string, cfg CrashConfig) (*CrashReport, error) {
 		rep.violate("restored round 1 sum differs from the pre-crash seal")
 	}
 
-	// Round 2 came back mid-flight with exactly the pre-crash cohort.
+	// Round 2 came back mid-flight with exactly the flushed prefix: the
+	// staged-and-lost tail is gone whole, never a torn mix.
 	p2, ok := managerB.Lookup(2)
 	if !ok {
 		rep.violate("restored registry lost in-flight round 2")
 		return rep, nil
 	}
 	if got := p2.Count(); got != half {
-		rep.violate("restored round 2 count = %d, want %d", got, half)
+		rep.violate("restored round 2 count = %d, want exactly the flushed prefix %d", got, half)
 	}
 
-	// Exact accounting: a duplicate of a pre-crash contribution is still
-	// a duplicate — the dedup digests survived the crash.
+	// Exact accounting: a duplicate of a flushed pre-crash contribution
+	// is still a duplicate — the dedup digests survived the crash.
 	if err := regB.Ingest(preCrashRaws[0]); err != service.ErrDuplicate {
 		rep.violate("pre-crash duplicate returned %v, want ErrDuplicate", err)
 	}
 	// A forged MAC is still refused: the restored ticket keys are the
 	// real ones. (Submitted before the genuine copy so the dedup table
 	// cannot mask a MAC bypass.)
-	probe, err := w.contribute(w.devices[half], 2, w.values[2][half])
+	fresh := half + stagedLost
+	probe, err := w.contribute(w.devices[fresh], 2, w.values[2][fresh])
 	if err != nil {
-		return nil, fmt.Errorf("sim: round 2 device %d: %w", half, err)
+		return nil, fmt.Errorf("sim: round 2 device %d: %w", fresh, err)
 	}
 	forged := append([]byte(nil), probe...)
 	forged[len(forged)-1] ^= 0x01
@@ -381,12 +483,22 @@ func RunCrashRecovery(stateDir string, cfg CrashConfig) (*CrashReport, error) {
 		rep.violate("forged MAC post-restart returned %v, want ErrBadMAC", err)
 	}
 
+	// The staged-and-lost contributions were never durably acknowledged,
+	// so their devices re-send the identical bytes — and the restored
+	// round, which genuinely lost them, accepts the resend instead of
+	// refusing it as a duplicate.
+	for i, raw := range stagedRaws {
+		if err := regB.Ingest(raw); err != nil {
+			rep.violate("staged-lost device %d resend refused: %v", half+i, err)
+		}
+	}
+
 	// No thundering herd: the rest of the fleet finishes round 2 on its
 	// pre-crash tickets — pure MAC fast path, zero grant exchanges.
 	if err := regB.Ingest(probe); err != nil {
-		rep.violate("round 2 device %d refused post-restart: %v", half, err)
+		rep.violate("round 2 device %d refused post-restart: %v", fresh, err)
 	}
-	for i := half + 1; i < cfg.Devices; i++ {
+	for i := fresh + 1; i < cfg.Devices; i++ {
 		raw, err := w.contribute(w.devices[i], 2, w.values[2][i])
 		if err != nil {
 			return nil, fmt.Errorf("sim: round 2 device %d: %w", i, err)
@@ -428,6 +540,32 @@ func RunCrashRecovery(stateDir string, cfg CrashConfig) (*CrashReport, error) {
 		rep.violate("restored tickets = %d, want %d", rep.TicketsRestored, cfg.Devices)
 	}
 	return rep, nil
+}
+
+// copyDir copies every regular file in src into dst (created fresh) —
+// the observer's byte-for-byte view of the state directory, exactly as
+// a crash at that instant would leave it.
+func copyDir(src, dst string) error {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !e.Type().IsRegular() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // tearWALTail appends a partial frame to the live WAL — the dying

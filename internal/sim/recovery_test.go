@@ -6,7 +6,11 @@ import "testing"
 // it from its state directory: the sealed round and the half-built round
 // both come back exact, pre-crash duplicates are still refused, and the
 // fleet finishes the round on its pre-crash tickets without re-running a
-// single grant exchange. Run under -race in CI.
+// single grant exchange. The crash lands with accepted records still
+// staged in the group-commit buffer: recovery restores exactly the
+// flushed prefix and the staged-lost devices re-send, while an observer
+// copy of the state dir taken as Seal returned proves the seal-point
+// barrier. Run under -race in CI.
 func TestSimCrashRecovery(t *testing.T) {
 	rep, err := RunCrashRecovery(t.TempDir(), CrashConfig{Seed: 17, Devices: 6, Dim: 4})
 	if err != nil {
@@ -18,6 +22,12 @@ func TestSimCrashRecovery(t *testing.T) {
 	if !rep.Round1Exact || !rep.Round2Exact {
 		t.Errorf("exactness: round1=%v round2=%v", rep.Round1Exact, rep.Round2Exact)
 	}
+	if !rep.SealObserved {
+		t.Error("seal-point barrier: observer copy did not see the fully sealed round")
+	}
+	if rep.StagedLost == 0 {
+		t.Error("scenario staged no records across the kill — the loss window went unexercised")
+	}
 	if rep.RecoverCrash.Records == 0 {
 		t.Error("restart replayed no WAL records")
 	}
@@ -25,7 +35,8 @@ func TestSimCrashRecovery(t *testing.T) {
 		t.Errorf("truncated %d bytes, want the 7-byte torn tail", rep.RecoverCrash.TruncatedBytes)
 	}
 	t.Logf("recovery: %+v", rep.RecoverCrash)
-	t.Logf("pre-crash=%d final=%d tickets=%d", rep.PreCrashAccepted, rep.FinalCount, rep.TicketsRestored)
+	t.Logf("pre-crash=%d staged-lost=%d final=%d tickets=%d",
+		rep.PreCrashAccepted, rep.StagedLost, rep.FinalCount, rep.TicketsRestored)
 }
 
 // TestSimCrashRecoveryOddCohort: an odd fleet splits unevenly across the
@@ -40,5 +51,8 @@ func TestSimCrashRecoveryOddCohort(t *testing.T) {
 	}
 	if !rep.Round1Exact || !rep.Round2Exact {
 		t.Errorf("exactness: round1=%v round2=%v", rep.Round1Exact, rep.Round2Exact)
+	}
+	if !rep.SealObserved {
+		t.Error("seal-point barrier: observer copy did not see the fully sealed round")
 	}
 }

@@ -55,6 +55,26 @@ func (w *Writer) Bytes(b []byte) *Writer {
 // String appends a length-prefixed string field.
 func (w *Writer) String(s string) *Writer { return w.Bytes([]byte(s)) }
 
+// BytesPrefix appends only the 4-byte length header of a byte field whose
+// n content bytes the caller then appends piecewise with Raw. The result
+// is byte-identical to Bytes on the concatenated content, without the
+// caller having to stage that content contiguously first — bulk encoders
+// (WAL records full of digests and lanes) skip a copy this way. The
+// caller owes exactly n Raw bytes before the next framed field.
+func (w *Writer) BytesPrefix(n int) *Writer {
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(n))
+	w.buf = append(w.buf, lenBuf[:]...)
+	return w
+}
+
+// Raw appends bytes with no framing: content promised by an earlier
+// BytesPrefix.
+func (w *Writer) Raw(b []byte) *Writer {
+	w.buf = append(w.buf, b...)
+	return w
+}
+
 // Uint64 appends a fixed-width 64-bit field.
 func (w *Writer) Uint64(v uint64) *Writer {
 	var b [8]byte
